@@ -1,0 +1,299 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- fig4    -- one experiment
+     experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations micro
+
+   Absolute numbers come from the fabric simulator and the calibrated
+   machine models (see DESIGN.md); the claims under reproduction are the
+   shapes: who wins, by roughly what factor, and where kernels sit
+   relative to the rooflines. *)
+
+module B = Wsc_benchmarks.Benchmarks
+module P = Wsc_frontends.Stencil_program
+module WP = Wsc_perf.Wse_perf
+module Machine = Wsc_wse.Machine
+
+let header title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: WSE2 vs WSE3 across benchmarks, large problem size        *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header
+    "Figure 4: WSE2 vs WSE3 performance, large problem size (GPts/s)\n\
+     paper shape: WSE3 > WSE2 on every benchmark, via upgraded switching";
+  Printf.printf "%-10s %12s %12s %8s\n" "benchmark" "WSE2 GPts/s" "WSE3 GPts/s"
+    "WSE3/WSE2";
+  List.iter
+    (fun id ->
+      let d = B.find id in
+      let m2 = WP.measure ~machine:Machine.wse2 ~size:B.Large d in
+      let m3 = WP.measure ~machine:Machine.wse3 ~size:B.Large d in
+      Printf.printf "%-10s %12.0f %12.0f %7.2fx\n" id m2.gpts_per_s m3.gpts_per_s
+        (m3.gpts_per_s /. m2.gpts_per_s))
+    [ "jacobian"; "diffusion"; "seismic"; "uvkbe" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: seismic -- hand-written vs generated across problem sizes *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  header
+    "Figure 5: 25-pt seismic, hand-written (WSE2) vs our approach (WSE2, WSE3)\n\
+     paper shape: generated code beats hand-written by up to ~8% on WSE2;\n\
+     WSE3 code outperforms WSE2 by up to ~38%";
+  Printf.printf "%-8s %16s %14s %14s %10s %10s\n" "size" "hand-written" "ours WSE2"
+    "ours WSE3" "ours/hand" "WSE3/WSE2";
+  List.iter
+    (fun size ->
+      let d = B.find "seismic" in
+      let hw = Wsc_perf.Handwritten.hand_written_gpts ~size in
+      let m2 = WP.measure ~machine:Machine.wse2 ~size d in
+      let m3 = WP.measure ~machine:Machine.wse3 ~size d in
+      Printf.printf "%-8s %16.0f %14.0f %14.0f %9.1f%% %9.1f%%\n"
+        (B.size_to_string size) hw m2.gpts_per_s m3.gpts_per_s
+        (100.0 *. ((m2.gpts_per_s /. hw) -. 1.0))
+        (100.0 *. ((m3.gpts_per_s /. m2.gpts_per_s) -. 1.0)))
+    [ B.Small; B.Medium; B.Large ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: acoustic -- WSE3 vs 128 A100s vs 128 ARCHER2 nodes        *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header
+    "Figure 6: Devito acoustic throughput, WSE3 vs GPU/CPU clusters (GPts/s)\n\
+     paper shape: WSE3 ~14x faster than 128 A100s, ~20x than 128 CPU nodes";
+  let d = B.find "acoustic" in
+  let wse3 = WP.measure ~machine:Machine.wse3 ~size:B.Large d in
+  let gpu = Wsc_perf.Cluster.tursa_128_a100 () in
+  let cpu = Wsc_perf.Cluster.archer2_128_nodes () in
+  Printf.printf "%-24s %12s %10s\n" "system" "GPts/s" "WSE3 adv.";
+  Printf.printf "%-24s %12.0f %10s\n" "WSE3 (750x994x604)" wse3.gpts_per_s "1.0x";
+  Printf.printf "%-24s %12.1f %9.1fx\n" (gpu.cm_name ^ " (1158^3)") gpu.gpts_per_s
+    (wse3.gpts_per_s /. gpu.gpts_per_s);
+  Printf.printf "%-24s %12.1f %9.1fx\n" (cpu.cm_name ^ " (1024^3)") cpu.gpts_per_s
+    (wse3.gpts_per_s /. cpu.gpts_per_s)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: roofline on the WSE3 + acoustic on a single A100          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  header
+    "Figure 7: roofline, five benchmarks on the WSE3 (+ acoustic on one A100)\n\
+     paper shape: all WSE kernels compute-bound from memory; all but the\n\
+     Jacobian also compute-bound via fabric; the A100 point is memory-bound";
+  let nx, ny = B.xy_extents B.Large in
+  let roof = Wsc_perf.Roofline.wse_roof Machine.wse3 ~pes:(nx * ny) in
+  Printf.printf
+    "machine: %s  peak=%.0f TFLOP/s  mem BW=%.1f PB/s  fabric BW=%.1f PB/s\n"
+    roof.machine_name (roof.peak_gflops /. 1e3) (roof.mem_bw_gbytes /. 1e6)
+    (roof.fabric_bw_gbytes /. 1e6);
+  List.iter
+    (fun (d : B.descr) ->
+      let m = WP.measure ~machine:Machine.wse3 ~size:B.Large d in
+      List.iter
+        (fun p -> Format.printf "  %a@." Wsc_perf.Roofline.pp_point p)
+        (Wsc_perf.Roofline.points_of_measurement roof m))
+    B.all;
+  Format.printf "  %a  (roof: peak %.0f GFLOP/s, HBM %.0f GB/s)@."
+    Wsc_perf.Roofline.pp_point
+    (Wsc_perf.Roofline.a100_point ())
+    Wsc_perf.Roofline.a100_roof.peak_gflops
+    Wsc_perf.Roofline.a100_roof.mem_bw_gbytes
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: lines of code                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tab1 () =
+  header
+    "Table 1: lines of code -- generated CSL vs DSL source\n\
+     paper shape: the DSL source is an order of magnitude smaller than\n\
+     the CSL a programmer would otherwise write";
+  Printf.printf "%-10s %18s %14s %18s\n" "benchmark" "CSL kernel (LoC)" "CSL entire"
+    "DSL & ours (LoC)";
+  List.iter
+    (fun (d : B.descr) ->
+      let p = d.make B.Tiny in
+      let m = Wsc_core.Pipeline.compile (P.compile p) in
+      let files = Wsc_core.Csl_printer.print_files m in
+      let kernel =
+        match
+          List.find_opt
+            (fun (f : Wsc_core.Csl_printer.file) ->
+              f.filename = "stencil_program.csl")
+            files
+        with
+        | Some f -> Wsc_core.Csl_printer.loc_of f.contents
+        | None -> 0
+      in
+      let entire =
+        List.fold_left
+          (fun acc (f : Wsc_core.Csl_printer.file) ->
+            acc + Wsc_core.Csl_printer.loc_of f.contents)
+          0 files
+      in
+      Printf.printf "%-10s %18d %14d %18d\n" d.id kernel entire p.P.dsl_loc)
+    B.all
+
+(* ------------------------------------------------------------------ *)
+(* Section 7 comparison: absolute TFLOP/s                              *)
+(* ------------------------------------------------------------------ *)
+
+let tflops () =
+  header
+    "Section 7 comparison numbers: TFLOP/s on CS-2 and CS-3\n\
+     paper: jacobian 169 / 313; seismic 491 / 678 (CS-2 / CS-3)";
+  Printf.printf "%-10s %12s %12s\n" "benchmark" "CS-2 TFLOPs" "CS-3 TFLOPs";
+  List.iter
+    (fun id ->
+      let d = B.find id in
+      let m2 = WP.measure ~machine:Machine.wse2 ~size:B.Large d in
+      let m3 = WP.measure ~machine:Machine.wse3 ~size:B.Large d in
+      Printf.printf "%-10s %12.0f %12.0f\n" id m2.tflops m3.tflops)
+    [ "jacobian"; "seismic" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices (DESIGN.md)                         *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header
+    "Ablations: effect of the Section 5.7 optimizations (WSE3, large,\n\
+     per-iteration cycles; lower is better)";
+  let run id opts label =
+    let d = B.find id in
+    let m = WP.measure ~pipeline_options:opts ~machine:Machine.wse3 ~size:B.Large d in
+    Printf.printf "  %-10s %-28s %10.0f cyc/it  %8.0f GPts/s\n" id label
+      m.cycles_per_iter m.gpts_per_s
+  in
+  let base = Wsc_core.Pipeline.default_options in
+  List.iter
+    (fun id ->
+      run id base "baseline (all opts)";
+      run id
+        { base with Wsc_core.Pipeline.promote_coefficients = false }
+        "no coefficient promotion";
+      run id
+        { base with Wsc_core.Pipeline.one_shot_reduction = false }
+        "no one-shot reduction";
+      run id
+        { base with Wsc_core.Pipeline.fuse_fmac = false }
+        "fmac via standalone pass";
+      run id
+        { base with Wsc_core.Pipeline.fuse_fmac = false; fuse_fmac_pass = false }
+        "no fmac fusion at all";
+      run id
+        { base with Wsc_core.Pipeline.num_chunks_override = Some 2 }
+        "forced 2 chunks";
+      match id with
+      | "uvkbe" ->
+          run id
+            { base with Wsc_core.Pipeline.inline_stencils = false }
+            "no stencil inlining"
+      | _ -> ())
+    [ "seismic"; "acoustic"; "uvkbe" ]
+
+(* ------------------------------------------------------------------ *)
+(* Weak scaling (paper SS6.2 discussion)                               *)
+(* ------------------------------------------------------------------ *)
+
+let weak () =
+  header
+    "Weak scaling: acoustic with per-device grids grown so each GPU/CPU\n\
+     works at its preferred size (paper SS6.2: 'a weak-scaling comparison\n\
+     would likely reduce the WSE3's speedup, [but] the advantage would\n\
+     remain significant')";
+  let d = B.find "acoustic" in
+  let wse3 = WP.measure ~machine:Machine.wse3 ~size:B.Large d in
+  Printf.printf "%-34s %12s %10s\n" "system" "GPts/s" "WSE3 adv.";
+  Printf.printf "%-34s %12.0f %10s\n" "WSE3 (750x994x604)" wse3.gpts_per_s "1.0x";
+  List.iter
+    (fun n ->
+      let gpu = Wsc_perf.Cluster.acoustic_throughput Wsc_perf.Cluster.a100 ~devices:128 ~n in
+      Printf.printf "%-34s %12.1f %9.1fx\n"
+        (Printf.sprintf "128x A100 (%d^3, weak-scaled)" n)
+        gpu.gpts_per_s
+        (wse3.gpts_per_s /. gpu.gpts_per_s))
+    [ 1158; 1600; 2048 ];
+  List.iter
+    (fun n ->
+      let cpu =
+        Wsc_perf.Cluster.acoustic_throughput Wsc_perf.Cluster.archer2_node ~devices:128 ~n
+      in
+      Printf.printf "%-34s %12.1f %9.1fx\n"
+        (Printf.sprintf "128x ARCHER2 (%d^3, weak-scaled)" n)
+        cpu.gpts_per_s
+        (wse3.gpts_per_s /. cpu.gpts_per_s))
+    [ 1024; 1448; 2048 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler itself                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Compiler micro-benchmarks (Bechamel): full pipeline compile time";
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (d : B.descr) ->
+        Test.make ~name:d.id
+          (Staged.stage (fun () ->
+               let p = d.make B.Tiny in
+               ignore (Wsc_core.Pipeline.compile (P.compile p)))))
+      B.all
+  in
+  let test = Test.make_grouped ~name:"pipeline" ~fmt:"%s %s" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let tbl = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ t ] -> Printf.printf "  %-30s %12.2f ms/compile\n" name (t /. 1e6)
+      | _ -> ())
+    tbl
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("tab1", tab1);
+    ("tflops", tflops);
+    ("ablations", ablations);
+    ("weak", weak);
+    ("micro", micro);
+  ]
+
+let () =
+  Wsc_core.Csl_stencil_interp.register ();
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (have: %s)\n" id
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested

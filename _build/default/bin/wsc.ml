@@ -1,0 +1,232 @@
+(** wsc — the wafer-scale stencil compiler driver.
+
+    Subcommands:
+    - [compile]: run the full pipeline on a built-in benchmark or a
+      stencil-dialect IR file and write the generated CSL files;
+    - [simulate]: compile and execute on the fabric simulator, checking
+      the result against the sequential reference interpreter;
+    - [perf]: report simulated throughput for a benchmark/machine/size;
+    - [ir]: print the IR after a chosen pipeline stage. *)
+
+open Cmdliner
+module B = Wsc_benchmarks.Benchmarks
+module P = Wsc_frontends.Stencil_program
+module I = Wsc_dialects.Interp
+
+let program_of ~bench ~input ~size ~iterations : P.t option * Wsc_ir.Ir.op =
+  match (bench, input) with
+  | Some id, None ->
+      let d = B.find id in
+      let p =
+        match iterations with
+        | Some n -> d.make_n size n
+        | None -> d.make size
+      in
+      (Some p, P.compile p)
+  | None, Some file -> (None, Wsc_ir.Parser.parse_file file)
+  | _ -> invalid_arg "give exactly one of --bench or an input file"
+
+let size_conv =
+  let parse s =
+    match s with
+    | "tiny" -> Ok B.Tiny
+    | "small" -> Ok B.Small
+    | "medium" -> Ok B.Medium
+    | "large" -> Ok B.Large
+    | s -> (
+        match String.split_on_char 'x' s with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some x, Some y -> Ok (B.Proxy (x, y))
+            | _ -> Error (`Msg ("bad size: " ^ s)))
+        | _ -> Error (`Msg ("bad size: " ^ s)))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (B.size_to_string s))
+
+let machine_conv =
+  let parse = function
+    | "wse2" -> Ok Wsc_wse.Machine.wse2
+    | "wse3" -> Ok Wsc_wse.Machine.wse3
+    | s -> Error (`Msg ("unknown machine: " ^ s))
+  in
+  Arg.conv (parse, fun fmt (m : Wsc_wse.Machine.t) -> Format.pp_print_string fmt m.name)
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "bench" ] ~docv:"NAME"
+        ~doc:"Built-in benchmark (jacobian, diffusion, acoustic, seismic, uvkbe).")
+
+let input_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Stencil-dialect IR input file.")
+
+let size_arg =
+  Arg.(
+    value & opt size_conv B.Tiny
+    & info [ "s"; "size" ] ~docv:"SIZE"
+        ~doc:"Problem size: tiny, small, medium, large or WxH.")
+
+let iters_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Timestep count override.")
+
+let machine_arg =
+  Arg.(
+    value & opt machine_conv Wsc_wse.Machine.wse3
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Target: wse2 or wse3.")
+
+let outdir_arg =
+  Arg.(
+    value & opt string "out"
+    & info [ "o"; "outdir" ] ~docv:"DIR" ~doc:"Output directory for CSL files.")
+
+let pipeline_options = Wsc_core.Pipeline.default_options
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let run bench input size iterations outdir =
+    let _, m = program_of ~bench ~input ~size ~iterations in
+    let compiled = Wsc_core.Pipeline.compile ~options:pipeline_options m in
+    let files = Wsc_core.Csl_printer.print_files compiled in
+    if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    List.iter
+      (fun (f : Wsc_core.Csl_printer.file) ->
+        let path = Filename.concat outdir f.filename in
+        let oc = open_out path in
+        output_string oc f.contents;
+        close_out oc;
+        Printf.printf "wrote %s (%d LoC)\n" path (Wsc_core.Csl_printer.loc_of f.contents))
+      files
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile to CSL source files.")
+    Term.(const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ outdir_arg)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let run bench input size iterations machine =
+    let prog, m = program_of ~bench ~input ~size ~iterations in
+    let compiled = Wsc_core.Pipeline.compile ~options:pipeline_options m in
+    match prog with
+    | None ->
+        prerr_endline "simulate: reference check needs --bench";
+        exit 1
+    | Some p ->
+        let ft = P.field_type p in
+        let init =
+          List.map
+            (fun _ ->
+              let g3 = I.grid_of_typ ft in
+              I.init_grid g3;
+              I.retensorize_grid g3)
+            p.P.state
+        in
+        (* simulate first: the fabric guards (grid size, per-PE memory)
+           reject oversized runs before the expensive reference pass *)
+        let h = Wsc_wse.Host.simulate machine compiled init in
+        let out = Wsc_wse.Host.read_all h in
+        let ref_grids = P.run_reference p in
+        let maxd =
+          List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff ref_grids out)
+        in
+        let stats = Wsc_wse.Fabric.total_stats h.sim in
+        Printf.printf "simulated %s on %s: %dx%d PEs, %.0f cycles (%.3f ms)\n"
+          p.P.pname machine.name h.sim.width h.sim.height
+          (Wsc_wse.Fabric.elapsed_cycles h.sim)
+          (1e3 *. Wsc_wse.Fabric.elapsed_seconds h.sim);
+        Printf.printf "  flops=%.3e  sent=%d elems  tasks=%d\n" stats.flops
+          stats.elems_sent stats.task_activations;
+        Printf.printf "  max |difference| vs sequential reference: %.3e  -> %s\n" maxd
+          (if maxd < 1e-4 then "MATCH" else "MISMATCH");
+        if maxd >= 1e-4 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Compile, run on the fabric simulator, check against the reference.")
+    Term.(const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ machine_arg)
+
+(* ---------------- perf ---------------- *)
+
+let perf_cmd =
+  let run bench size machine =
+    match bench with
+    | None ->
+        prerr_endline "perf: --bench required";
+        exit 1
+    | Some id ->
+        let d = B.find id in
+        let r = Wsc_perf.Wse_perf.measure ~machine ~size d in
+        Format.printf "%a@." Wsc_perf.Wse_perf.pp_measurement r
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Report simulated throughput.")
+    Term.(const run $ bench_arg $ size_arg $ machine_arg)
+
+(* ---------------- ir ---------------- *)
+
+let stage_arg =
+  Arg.(
+    value & opt string "csl"
+    & info [ "stage" ] ~docv:"STAGE"
+        ~doc:"Pipeline stage to print: stencil, distributed, prefetch, \
+              csl-stencil, bufferized, csl.")
+
+let ir_cmd =
+  let run bench input size iterations stage =
+    let _, m = program_of ~bench ~input ~size ~iterations in
+    Wsc_core.Csl_stencil_interp.register ();
+    let o = pipeline_options in
+    let passes =
+      match stage with
+      | "stencil" -> []
+      | "distributed" -> Wsc_core.Pipeline.frontend_passes o
+      | "prefetch" ->
+          Wsc_core.Pipeline.frontend_passes o
+          @ [ List.hd (Wsc_core.Pipeline.middle_passes o) ]
+      | "csl-stencil" ->
+          Wsc_core.Pipeline.frontend_passes o
+          @ (Wsc_core.Pipeline.middle_passes o |> List.filteri (fun i _ -> i < 2))
+      | "bufferized" ->
+          Wsc_core.Pipeline.frontend_passes o @ Wsc_core.Pipeline.middle_passes o
+      | "csl" -> Wsc_core.Pipeline.passes o
+      | s ->
+          prerr_endline ("unknown stage " ^ s);
+          exit 1
+    in
+    let m = Wsc_ir.Pass.run_pipeline passes m in
+    Wsc_ir.Printer.print_op m
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Print the IR after a pipeline stage.")
+    Term.(const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ stage_arg)
+
+let () =
+  let info =
+    Cmd.info "wsc" ~version:"1.0.0"
+      ~doc:"An MLIR-style lowering pipeline for stencils at wafer scale."
+  in
+  let rc =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info [ compile_cmd; simulate_cmd; perf_cmd; ir_cmd ])
+    with
+    | Wsc_wse.Fabric.Sim_error msg
+    | Wsc_wse.Host.Host_error msg
+    | Wsc_core.To_csl_stencil.Lowering_error msg
+    | Wsc_core.To_actors.Actor_error msg ->
+        prerr_endline ("wsc: " ^ msg);
+        2
+    | Wsc_ir.Pass.Pass_failed (pass, exn) ->
+        prerr_endline
+          (Printf.sprintf "wsc: pass %s failed: %s" pass (Printexc.to_string exn));
+        2
+  in
+  exit rc

@@ -1,0 +1,1 @@
+examples/fortran_to_csl.ml: List Printf String Wsc_core Wsc_frontends

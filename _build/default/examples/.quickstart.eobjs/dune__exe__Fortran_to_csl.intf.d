@@ -1,0 +1,1 @@
+examples/fortran_to_csl.mli:

@@ -1,0 +1,1 @@
+examples/heat_3d.ml: Array Float Printf Wsc_core Wsc_dialects Wsc_frontends Wsc_wse

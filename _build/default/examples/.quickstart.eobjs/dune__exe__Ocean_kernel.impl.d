@@ -1,0 +1,1 @@
+examples/ocean_kernel.ml: Float List Printf Wsc_core Wsc_dialects Wsc_frontends Wsc_ir Wsc_wse

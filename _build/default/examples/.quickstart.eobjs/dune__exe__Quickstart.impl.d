@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float List Printf String Wsc_core Wsc_dialects Wsc_frontends Wsc_ir Wsc_wse

@@ -1,0 +1,1 @@
+examples/seismic_wavefront.ml: Array Float Printf Wsc_benchmarks Wsc_core Wsc_dialects Wsc_frontends Wsc_wse

@@ -1,0 +1,1 @@
+lib/benchmarks/benchmarks.ml: List Printf String Wsc_frontends

@@ -1,0 +1,1 @@
+lib/benchmarks/benchmarks.mli: Wsc_frontends

@@ -1,0 +1,1 @@
+lib/core/buf_eval.ml: Array Bufview Hashtbl List Printf Wsc_dialects Wsc_ir

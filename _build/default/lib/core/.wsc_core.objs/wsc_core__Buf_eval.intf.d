@@ -1,0 +1,1 @@
+lib/core/buf_eval.mli: Bufview Hashtbl Wsc_dialects Wsc_ir

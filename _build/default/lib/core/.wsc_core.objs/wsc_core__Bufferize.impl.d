@@ -1,0 +1,1 @@
+lib/core/bufferize.ml: Csl_stencil Hashtbl List Option Printf Subst Wsc_dialects Wsc_ir

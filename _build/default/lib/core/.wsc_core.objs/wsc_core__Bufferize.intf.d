@@ -1,0 +1,1 @@
+lib/core/bufferize.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/bufview.ml: Array Printf

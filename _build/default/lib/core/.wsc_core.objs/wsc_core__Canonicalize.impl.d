@@ -1,0 +1,1 @@
+lib/core/canonicalize.ml: Format Hashtbl List String Subst Wsc_dialects Wsc_ir

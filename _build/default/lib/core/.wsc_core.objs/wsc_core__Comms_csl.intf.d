@@ -1,0 +1,1 @@
+lib/core/comms_csl.mli:

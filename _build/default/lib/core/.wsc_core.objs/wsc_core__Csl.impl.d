@@ -1,0 +1,1 @@
+lib/core/csl.ml: List String Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/csl.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/csl_printer.ml: Buffer Comms_csl Csl Float Hashtbl List Printf String Wsc_dialects Wsc_ir

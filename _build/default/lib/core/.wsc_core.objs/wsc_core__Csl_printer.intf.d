@@ -1,0 +1,1 @@
+lib/core/csl_printer.mli: Wsc_ir

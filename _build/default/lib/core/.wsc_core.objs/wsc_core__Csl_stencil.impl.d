@@ -1,0 +1,1 @@
+lib/core/csl_stencil.ml: List Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/csl_stencil.mli: Wsc_dialects Wsc_ir

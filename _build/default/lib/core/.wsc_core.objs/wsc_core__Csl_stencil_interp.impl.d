@@ -1,0 +1,1 @@
+lib/core/csl_stencil_interp.ml: Array Buf_eval Bufview Csl_stencil List Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/csl_stencil_interp.mli:

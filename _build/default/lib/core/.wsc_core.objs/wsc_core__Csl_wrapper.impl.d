@@ -1,0 +1,1 @@
+lib/core/csl_wrapper.ml: List Wsc_ir

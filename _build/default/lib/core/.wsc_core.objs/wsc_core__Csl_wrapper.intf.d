@@ -1,0 +1,1 @@
+lib/core/csl_wrapper.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Hashtbl List Printf Subst Wsc_dialects Wsc_ir

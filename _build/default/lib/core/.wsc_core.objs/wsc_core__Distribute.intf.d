@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Wsc_dialects Wsc_ir

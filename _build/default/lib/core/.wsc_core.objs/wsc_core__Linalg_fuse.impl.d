@@ -1,0 +1,1 @@
+lib/core/linalg_fuse.ml: Hashtbl List Option Wsc_dialects Wsc_ir

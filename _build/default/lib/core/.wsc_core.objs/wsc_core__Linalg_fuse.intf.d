@@ -1,0 +1,1 @@
+lib/core/linalg_fuse.mli: Wsc_ir

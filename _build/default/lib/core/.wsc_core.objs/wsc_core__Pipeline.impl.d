@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bufferize Canonicalize Csl_stencil_interp Distribute Linalg_fuse Stencil_inlining To_actors To_csl To_csl_stencil Varith_passes Wrap Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/stencil_inlining.ml: Hashtbl List Option Subst Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/stencil_inlining.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/to_actors.ml: Array Csl Csl_stencil Csl_wrapper Hashtbl List Printf Subst Wsc_dialects Wsc_ir

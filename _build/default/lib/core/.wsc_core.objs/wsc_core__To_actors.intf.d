@@ -1,0 +1,1 @@
+lib/core/to_actors.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/to_csl.ml: Csl Csl_wrapper Hashtbl List Printf Subst Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/to_csl.mli: Csl_wrapper Wsc_ir

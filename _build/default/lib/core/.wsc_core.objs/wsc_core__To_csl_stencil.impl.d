@@ -1,0 +1,1 @@
+lib/core/to_csl_stencil.ml: Csl_stencil Hashtbl List Option Printf Subst Wsc_dialects Wsc_ir

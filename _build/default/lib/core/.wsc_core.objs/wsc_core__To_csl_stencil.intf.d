@@ -1,0 +1,1 @@
+lib/core/to_csl_stencil.mli: Wsc_dialects Wsc_ir

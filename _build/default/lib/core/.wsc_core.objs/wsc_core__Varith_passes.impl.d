@@ -1,0 +1,1 @@
+lib/core/varith_passes.ml: Hashtbl List Option Subst Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/core/varith_passes.mli: Wsc_ir

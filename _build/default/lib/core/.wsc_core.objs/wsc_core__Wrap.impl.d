@@ -1,0 +1,1 @@
+lib/core/wrap.ml: Csl_stencil Csl_wrapper List Wsc_dialects Wsc_ir

@@ -1,0 +1,32 @@
+(** Evaluator for bufferized (memref + linalg) region bodies: values are
+    buffer views, integers or grids; DPS ops mutate their destination
+    views in place, exactly as DSD builtins do on a PE.  Shared reference
+    semantics between the post-group-3 interpreter hook and tests. *)
+
+open Wsc_ir.Ir
+
+type cell =
+  | Vbuf of Bufview.t
+  | Vint of int
+  | Vfloat of float
+  | Vgrid of Wsc_dialects.Interp.grid
+
+exception Eval_error of string
+
+type env = {
+  cells : (int, cell) Hashtbl.t;
+  mutable point : int list;  (** current PE coordinates for grid accesses *)
+}
+
+val new_env : unit -> env
+val bind : env -> value -> cell -> unit
+val lookup : env -> value -> cell
+
+(** View of the z-column stored at [point + offset] in a grid of
+    tensors. *)
+val grid_column_view :
+  Wsc_dialects.Interp.grid -> int list -> int list -> Bufview.t
+
+(** Evaluate one block; returns the yield operands' cells.
+    @raise Eval_error on unbound values or unsupported ops. *)
+val eval_block : env -> block -> cell list

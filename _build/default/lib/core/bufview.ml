@@ -1,0 +1,58 @@
+(** Buffer views: the runtime representation shared by the bufferized-IR
+    evaluator and the fabric simulator's DSD execution.
+
+    A view aliases a slice of a backing array — exactly what a memref
+    subview or a mem1d DSD denotes on a PE. *)
+
+type t = { data : float array; off : int; len : int; stride : int }
+
+let of_array (a : float array) : t =
+  { data = a; off = 0; len = Array.length a; stride = 1 }
+
+let make (a : float array) ~off ~len ?(stride = 1) () : t =
+  if off < 0 || (len > 0 && off + ((len - 1) * stride) >= Array.length a) then
+    invalid_arg
+      (Printf.sprintf "Bufview: [%d, +%d x%d) out of array of %d" off len stride
+         (Array.length a));
+  { data = a; off; len; stride }
+
+let sub (v : t) ~off ~len : t =
+  make v.data ~off:(v.off + (off * v.stride)) ~len ~stride:v.stride ()
+
+let get (v : t) i = v.data.(v.off + (i * v.stride))
+let set (v : t) i x = v.data.(v.off + (i * v.stride)) <- x
+
+let fill (v : t) x =
+  for i = 0 to v.len - 1 do
+    set v i x
+  done
+
+let to_array (v : t) : float array = Array.init v.len (get v)
+
+let blit ~(src : t) ~(dst : t) : unit =
+  if src.len <> dst.len then invalid_arg "Bufview.blit: length mismatch";
+  for i = 0 to src.len - 1 do
+    set dst i (get src i)
+  done
+
+(** Elementwise [dst.(i) <- f a.(i) b.(i)]; operands may alias [dst]. *)
+let map2_into (f : float -> float -> float) (a : t) (b : t) (dst : t) : unit =
+  if a.len <> dst.len || b.len <> dst.len then
+    invalid_arg "Bufview.map2_into: length mismatch";
+  for i = 0 to dst.len - 1 do
+    set dst i (f (get a i) (get b i))
+  done
+
+let map_into (f : float -> float) (a : t) (dst : t) : unit =
+  if a.len <> dst.len then invalid_arg "Bufview.map_into: length mismatch";
+  for i = 0 to dst.len - 1 do
+    set dst i (f (get a i))
+  done
+
+(** Fused multiply-accumulate: [dst.(i) <- a.(i) + b.(i) * s]. *)
+let fmac_into (a : t) (b : t) (s : float) (dst : t) : unit =
+  if a.len <> dst.len || b.len <> dst.len then
+    invalid_arg "Bufview.fmac_into: length mismatch";
+  for i = 0 to dst.len - 1 do
+    set dst i (get a i +. (get b i *. s))
+  done

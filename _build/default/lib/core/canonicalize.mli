@@ -1,0 +1,8 @@
+(** Canonicalization: constant folding of float arithmetic (with the
+    x+0 / x*1 / x*0 identities), common-subexpression elimination of
+    duplicate constants and stencil accesses, and dead-code elimination —
+    run to a fixpoint. *)
+
+val pure : string -> bool
+val run : Wsc_ir.Ir.op -> Wsc_ir.Ir.op
+val pass : Wsc_ir.Pass.t

@@ -1,0 +1,291 @@
+(** CSL source of the runtime communication library (paper §5.6).
+
+    A CSL module implementing the partitionable communication strategy of
+    Jacquelin et al. for star-shaped stencils: each PE broadcasts its
+    column [pattern - 1] hops in each cardinal direction over dedicated
+    colors, while receiving and reducing the columns of its neighbours.
+    Communication is chunked; each direction runs its own small state
+    machine of data/control/local tasks handling chunk completion and
+    switch updates, optionally applying a promoted coefficient to data as
+    it moves from the input queue to memory ([@fmacs] straight off the
+    fabric, §5.7).  User code provides two callbacks: one activated per
+    completed chunk, one once the whole exchange has finished.
+
+    The WSE2 variant programs the switch self-transmission workaround
+    (every send loops back through the PE's own router); the WSE3 variant
+    omits it (§6).
+
+    The text is assembled from a per-direction template — exactly the
+    boilerplate a CSL programmer would otherwise write by hand four
+    times, which is what the paper's Table 1 "CSL entire" column counts. *)
+
+let header =
+  {|// stencil_comms.csl — runtime communication library for star stencils
+// Generated alongside every program produced by the wsc pipeline.
+//
+// Strategy (Jacquelin et al., SC'22): every PE owns one z-column and
+// broadcasts the communicated z-range (pattern-1) hops in each cardinal
+// direction. Receives are chunked; each chunk is reduced on arrival into
+// a per-direction staging buffer with the promoted coefficient applied
+// at zero overhead while draining the input queue.
+
+param width: u16;
+param height: u16;
+param pattern: u16;          // stencil radius + 1
+param chunk_size: u16;
+param num_chunks: u16;
+param wse2_self_send: bool;  // switch workaround for the WSE2 generation
+
+const directions = 4;
+const max_pattern = 8;
+
+// One communication color per direction and hop distance.
+const tx_east_color:  color = @get_color(0);
+const tx_west_color:  color = @get_color(1);
+const tx_north_color: color = @get_color(2);
+const tx_south_color: color = @get_color(3);
+const rx_east_color:  color = @get_color(4);
+const rx_west_color:  color = @get_color(5);
+const rx_north_color: color = @get_color(6);
+const rx_south_color: color = @get_color(7);
+const ctrl_color:     color = @get_color(8);
+
+// Exchange descriptor registered by communicate().
+const ExchangeConfig = struct {
+    apply: u16,
+    z_base: u16,
+    nz: u16,
+    num_chunks: u16,
+    chunk_size: u16,
+    chunk_cb: *const fn (i16) void,
+    done_cb: *const fn () void,
+};
+
+var current: ExchangeConfig = undefined;
+var chunks_done: u16 = 0;
+var dirs_pending: u16 = 0;
+var send_pending: u16 = 0;
+
+// Output queues: one fabric-out DSD per direction, rebuilt per exchange
+// with the communicated z-range of the send buffer.
+var fabout_east  = @get_dsd(fabout_dsd, .{ .fabric_color = tx_east_color,  .extent = 1 });
+var fabout_west  = @get_dsd(fabout_dsd, .{ .fabric_color = tx_west_color,  .extent = 1 });
+var fabout_north = @get_dsd(fabout_dsd, .{ .fabric_color = tx_north_color, .extent = 1 });
+var fabout_south = @get_dsd(fabout_dsd, .{ .fabric_color = tx_south_color, .extent = 1 });
+
+// Input queues: one fabric-in DSD per direction.
+var fabin_east  = @get_dsd(fabin_dsd, .{ .fabric_color = rx_east_color,  .extent = 1 });
+var fabin_west  = @get_dsd(fabin_dsd, .{ .fabric_color = rx_west_color,  .extent = 1 });
+var fabin_north = @get_dsd(fabin_dsd, .{ .fabric_color = rx_north_color, .extent = 1 });
+var fabin_south = @get_dsd(fabin_dsd, .{ .fabric_color = rx_south_color, .extent = 1 });
+|}
+
+let direction_template =
+  {|
+// ----------------------------------------------------------------------
+// $CDIR direction: send our column $DIR-ward; receive and reduce columns
+// arriving from the $OPP.
+// ----------------------------------------------------------------------
+
+var $DIR_chunk: u16 = 0;
+var $DIR_hops_seen: u16 = 0;
+var $DIR_coeff: [max_pattern]f32 = @zeros([max_pattern]f32);
+var $DIR_staging = @zeros([512]f32);
+
+// Reduce one arriving distance-column of the current chunk into the
+// staging buffer, applying the promoted coefficient while draining the
+// input queue (communication/compute interleaving).
+task $DIR_recv_column() void {
+    const hop = $DIR_hops_seen;
+    var stage_dsd = @get_dsd(mem1d_dsd,
+        .{ .tensor_access = |i|{chunk_size} -> $DIR_staging[i] });
+    stage_dsd = @set_dsd_length(stage_dsd, current.chunk_size);
+    // dest = dest + incoming * coeff, straight off the fabric queue
+    @fmacs(stage_dsd, stage_dsd, fabin_$DIR, $DIR_coeff[hop]);
+    $DIR_hops_seen += 1;
+    if ($DIR_hops_seen == pattern - 1) {
+        $DIR_hops_seen = 0;
+        @activate($DIR_chunk_done_id);
+    } else {
+        // re-arm for the next hop distance of this chunk
+        @block($DIR_recv_column_id);
+        @unblock($DIR_recv_column_id);
+    }
+}
+
+// All hop distances of the current chunk arrived for this direction.
+task $DIR_chunk_done() void {
+    $DIR_chunk += 1;
+    dirs_pending -= 1;
+    if (dirs_pending == 0) {
+        @activate(all_dirs_chunk_done_id);
+    }
+}
+
+// Send one chunk of our own column $DIR-ward.  The router forwards the
+// wavelets up to (pattern-1) hops; on the WSE2 the switch configuration
+// additionally loops every wavelet back through our own router.
+fn $DIR_send_chunk(send_buf: [*]f32, z_off: u16) void {
+    var col_dsd = @get_dsd(mem1d_dsd,
+        .{ .tensor_access = |i|{chunk_size} -> send_buf[z_off + i] });
+    col_dsd = @set_dsd_length(col_dsd, current.chunk_size);
+    @fmovs(fabout_$DIR, col_dsd, .{ .async = true });
+    if (wse2_self_send) {
+        // WSE2 switch workaround: transmit to ourselves as well
+        @fmovs(fabout_$DIR, col_dsd, .{ .async = true });
+    }
+    send_pending += 1;
+}
+
+// Completion of the asynchronous $DIR-ward send of one chunk.
+task $DIR_send_done() void {
+    send_pending -= 1;
+    if (send_pending == 0 and $DIR_chunk == current.num_chunks) {
+        @activate(exchange_maybe_done_id);
+    }
+}
+
+// Routing for the $DIR direction: receive from the $OPP, forward with
+// decremented hop budget, deliver a copy to the ramp.
+fn $DIR_configure_routes() void {
+    @set_local_color_config(rx_$DIR_color, .{ .routes = .{
+        .rx = .{ .$OPP = true },
+        .tx = .{ .ramp = true, .$DIR = true },
+    }});
+    @set_local_color_config(tx_$DIR_color, .{ .routes = .{
+        .rx = .{ .ramp = true },
+        .tx = .{ .$DIR = true },
+    }});
+}
+|}
+
+(** Replace every occurrence of [pattern] in [s]. *)
+let replace_all ~(pattern : string) ~(by : string) (s : string) : string =
+  let plen = String.length pattern in
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if !i + plen <= n && String.sub s !i plen = pattern then begin
+      Buffer.add_string buf by;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(** Instantiate the per-direction template.  [dir] is the lowercase
+    direction name, [opp] the direction wavelets travel to reach us. *)
+let direction_section ~(dir : string) ~(opp : string) : string =
+  direction_template
+  |> replace_all ~pattern:"$CDIR" ~by:(String.capitalize_ascii dir)
+  |> replace_all ~pattern:"$DIR" ~by:dir
+  |> replace_all ~pattern:"$OPP" ~by:opp
+
+let footer =
+  {|
+// ----------------------------------------------------------------------
+// Exchange driver
+// ----------------------------------------------------------------------
+
+// A chunk has been reduced in every direction: hand the staged data to
+// the user's chunk callback, then start the next chunk.
+task all_dirs_chunk_done() void {
+    const off: i16 = @as(i16, chunks_done) * @as(i16, current.chunk_size);
+    current.chunk_cb(off);
+    chunks_done += 1;
+    if (chunks_done < current.num_chunks) {
+        dirs_pending = directions;
+        // staging buffers are consumed; clear for the next chunk
+        east_staging  = @zeros([512]f32);
+        west_staging  = @zeros([512]f32);
+        north_staging = @zeros([512]f32);
+        south_staging = @zeros([512]f32);
+        @activate(start_next_chunk_id);
+    } else {
+        @activate(exchange_maybe_done_id);
+    }
+}
+
+task start_next_chunk() void {
+    const z = current.z_base + chunks_done * current.chunk_size;
+    east_send_chunk(current_send_buf, z);
+    west_send_chunk(current_send_buf, z);
+    north_send_chunk(current_send_buf, z);
+    south_send_chunk(current_send_buf, z);
+}
+
+// Both our outgoing broadcast and all incoming reductions finished.
+task exchange_maybe_done() void {
+    if (send_pending == 0 and chunks_done == current.num_chunks) {
+        current.done_cb();
+    }
+}
+
+var current_send_buf: [*]f32 = undefined;
+
+// Entry point: register the exchange and kick off chunk zero.
+// The call returns immediately; completion is signalled through the
+// callbacks (the continuation-passing boundary of Figure 1).
+fn communicate(cfg: ExchangeConfig, send_buf: [*]f32) void {
+    current = cfg;
+    current_send_buf = send_buf;
+    chunks_done = 0;
+    dirs_pending = directions;
+    send_pending = 0;
+    @activate(start_next_chunk_id);
+}
+
+comptime {
+    const east_recv_column_id      = @get_data_task_id(rx_east_color);
+    const west_recv_column_id      = @get_data_task_id(rx_west_color);
+    const north_recv_column_id     = @get_data_task_id(rx_north_color);
+    const south_recv_column_id     = @get_data_task_id(rx_south_color);
+    @bind_data_task(east_recv_column, east_recv_column_id);
+    @bind_data_task(west_recv_column, west_recv_column_id);
+    @bind_data_task(north_recv_column, north_recv_column_id);
+    @bind_data_task(south_recv_column, south_recv_column_id);
+
+    const east_chunk_done_id       = @get_local_task_id(16);
+    const west_chunk_done_id       = @get_local_task_id(17);
+    const north_chunk_done_id      = @get_local_task_id(18);
+    const south_chunk_done_id      = @get_local_task_id(19);
+    const east_send_done_id        = @get_local_task_id(20);
+    const west_send_done_id        = @get_local_task_id(21);
+    const north_send_done_id       = @get_local_task_id(22);
+    const south_send_done_id       = @get_local_task_id(23);
+    const all_dirs_chunk_done_id   = @get_local_task_id(24);
+    const start_next_chunk_id      = @get_local_task_id(25);
+    const exchange_maybe_done_id   = @get_local_task_id(26);
+    @bind_local_task(east_chunk_done, east_chunk_done_id);
+    @bind_local_task(west_chunk_done, west_chunk_done_id);
+    @bind_local_task(north_chunk_done, north_chunk_done_id);
+    @bind_local_task(south_chunk_done, south_chunk_done_id);
+    @bind_local_task(east_send_done, east_send_done_id);
+    @bind_local_task(west_send_done, west_send_done_id);
+    @bind_local_task(north_send_done, north_send_done_id);
+    @bind_local_task(south_send_done, south_send_done_id);
+    @bind_local_task(all_dirs_chunk_done, all_dirs_chunk_done_id);
+    @bind_local_task(start_next_chunk, start_next_chunk_id);
+    @bind_local_task(exchange_maybe_done, exchange_maybe_done_id);
+
+    east_configure_routes();
+    west_configure_routes();
+    north_configure_routes();
+    south_configure_routes();
+}
+|}
+
+let source : string =
+  String.concat ""
+    [
+      header;
+      direction_section ~dir:"east" ~opp:"west";
+      direction_section ~dir:"west" ~opp:"east";
+      direction_section ~dir:"north" ~opp:"south";
+      direction_section ~dir:"south" ~opp:"north";
+      footer;
+    ]

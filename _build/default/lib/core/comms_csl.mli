@@ -1,0 +1,14 @@
+(** CSL source of the runtime communication library (paper §5.6): the
+    partitionable star-pattern exchange of Jacquelin et al., with
+    per-direction task state machines, chunked asynchronous sends and
+    receives, promoted-coefficient application off the fabric queue, and
+    the WSE2 self-send switch variant.  Emitted alongside every generated
+    program. *)
+
+(** Replace every occurrence of [pattern] in the string. *)
+val replace_all : pattern:string -> by:string -> string -> string
+
+(** One direction's worth of the library (exposed for tests). *)
+val direction_section : dir:string -> opp:string -> string
+
+val source : string

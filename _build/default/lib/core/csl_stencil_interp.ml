@@ -1,0 +1,195 @@
+(** Reference semantics for [csl_stencil.apply], registered into the
+    sequential interpreter.
+
+    Models exactly what the fabric does, but in a single address space:
+    for every PE (2D point), the receive-chunk region runs once per chunk
+    with a view of the neighbours' column slices, then the done region
+    combines the accumulator with locally held data.  When coefficients
+    are promoted, the view holds per-direction staging buffers — incoming
+    columns scaled by their coefficient and reduced over the distances —
+    exactly what the communication layer delivers at runtime.
+
+    Handles both the tensor form (post group 2) and the bufferized form
+    (post group 3, detected by the [bufferized] attr). *)
+
+open Wsc_ir.Ir
+module I = Wsc_dialects.Interp
+module Stencil = Wsc_dialects.Stencil
+
+let tensor_slice (col : float array) ~(offset : int) ~(size : int) : float array =
+  Array.sub col offset size
+
+(** Column slice of grid [g] at [p + d], or None outside the grid. *)
+let neighbour_slice (g : I.grid) (p : int list) (d : int list) ~z_off ~cs :
+    float array option =
+  let np = List.map2 ( + ) p d in
+  let inside = List.for_all2 (fun i (lb, ub) -> i >= lb && i < ub) np g.I.gbounds in
+  if not inside then None
+  else
+    match I.grid_get g np with
+    | I.Rtensor col -> Some (tensor_slice col ~offset:z_off ~size:cs)
+    | _ -> None
+
+(** Build the per-input received views for one chunk.  [one_shot]: all
+    directions reduce into the zero-offset staging position (§5.7). *)
+let build_rcv_grids ?(one_shot = false) (cfg : Csl_stencil.apply_config)
+    (comm_grids : I.grid list) (p : int list) ~(z_halo : int) ~(off : int)
+    ~(radius : int) : I.grid list =
+  let cs = cfg.chunk_size in
+  let rb = [ (-radius, radius + 1); (-radius, radius + 1) ] in
+  List.mapi
+    (fun i (g : I.grid) ->
+      let rg = I.make_grid rb (Tensor ([ cs ], F32)) in
+      if cfg.coeffs <> [] then
+        (* promoted: pre-scaled reduction, per direction at the unit
+           offset, or into one shared position when one-shot *)
+        List.iter
+          (fun (i', dx, dy, c) ->
+            if i' = i then begin
+              match neighbour_slice g p [ dx; dy ] ~z_off:(z_halo + off) ~cs with
+              | Some sl ->
+                  let pos =
+                    if one_shot then [ 0; 0 ]
+                    else [ compare dx 0; compare dy 0 ]
+                  in
+                  (match I.grid_get rg pos with
+                  | I.Rtensor acc ->
+                      Array.iteri (fun k x -> acc.(k) <- acc.(k) +. (c *. x)) sl;
+                      I.grid_set rg pos (I.Rtensor acc)
+                  | _ -> ())
+              | None -> ()
+            end)
+          cfg.coeffs
+      else
+        (* unpromoted: raw column per (dx, dy) *)
+        I.iter_points rb (fun d ->
+            match d with
+            | [ dx; dy ] when dx <> 0 || dy <> 0 -> (
+                match neighbour_slice g p d ~z_off:(z_halo + off) ~cs with
+                | Some sl -> I.grid_set rg d (I.Rtensor sl)
+                | None -> ())
+            | _ -> ());
+      rg)
+    comm_grids
+
+let apply_setup (op : op) (env : I.env) =
+  let cfg = Csl_stencil.config_of op in
+  let z_halo = int_attr_exn op "z_halo" in
+  let cb = Stencil.bounds_of_attr (attr_exn op "compute_bounds") in
+  let operand_vals = List.map (I.lookup env) op.operands in
+  let comm_grids =
+    List.filteri (fun i _ -> i < cfg.comm_count) operand_vals |> List.map I.as_grid
+  in
+  let acc_init = I.as_tensor (List.nth operand_vals cfg.comm_count) in
+  let radius =
+    List.fold_left (fun r (s : Wsc_dialects.Dmp.swap_desc) -> max r s.depth) 1 (List.concat cfg.swaps)
+  in
+  (cfg, z_halo, cb, operand_vals, comm_grids, acc_init, radius)
+
+(** Tensor-form evaluation (post group 2). *)
+let tensor_handler (ctx : I.ctx) (op : op) (run_block : I.ctx -> block -> I.rtvalue list)
+    : I.rtvalue list =
+  let cfg, z_halo, cb, operand_vals, comm_grids, acc_init, radius =
+    apply_setup op ctx.env
+  in
+  let recv_block = entry_block (Csl_stencil.recv_region op) in
+  let done_block = entry_block (Csl_stencil.done_region op) in
+  let out_grids = List.map (fun _ -> I.copy_grid (List.hd comm_grids)) op.results in
+  let saved_point = ctx.point in
+  I.iter_points cb (fun p ->
+      let acc = ref (Array.copy acc_init) in
+      for chunk = 0 to cfg.num_chunks - 1 do
+        let off = chunk * cfg.chunk_size in
+        let rcv_grids =
+          build_rcv_grids ~one_shot:(has_attr op "one_shot") cfg comm_grids p
+            ~z_halo ~off ~radius
+        in
+        ctx.point <- [ 0; 0 ];
+        List.iteri
+          (fun i a ->
+            if i < cfg.comm_count then
+              I.bind ctx.env a (I.Rgrid (List.nth rcv_grids i))
+            else if i = cfg.comm_count then I.bind ctx.env a (I.Rint off)
+            else I.bind ctx.env a (I.Rtensor !acc))
+          recv_block.bargs;
+        (match run_block ctx recv_block with
+        | [ I.Rtensor acc' ] -> acc := acc'
+        | _ -> I.fail "csl_stencil.apply: recv region must yield the accumulator")
+      done;
+      ctx.point <- p;
+      List.iteri
+        (fun i a ->
+          if i = cfg.comm_count then I.bind ctx.env a (I.Rtensor !acc)
+          else I.bind ctx.env a (List.nth operand_vals i))
+        done_block.bargs;
+      let cols = run_block ctx done_block in
+      if List.length cols <> List.length out_grids then
+        I.fail "csl_stencil.apply: done region must yield one column per result";
+      List.iter2 (fun g col -> I.grid_set g p col) out_grids cols);
+  ctx.point <- saved_point;
+  List.map (fun g -> I.Rgrid g) out_grids
+
+(** Bufferized-form evaluation (post group 3), via {!Buf_eval}. *)
+let bufferized_handler (ctx : I.ctx) (op : op) : I.rtvalue list =
+  let cfg, z_halo, cb, operand_vals, comm_grids, acc_init, radius =
+    apply_setup op ctx.env
+  in
+  let recv_block = entry_block (Csl_stencil.recv_region op) in
+  let done_block = entry_block (Csl_stencil.done_region op) in
+  let out_grids = List.map (fun _ -> I.copy_grid (List.hd comm_grids)) op.results in
+  I.iter_points cb (fun p ->
+      let acc = Array.copy acc_init in
+      for chunk = 0 to cfg.num_chunks - 1 do
+        let off = chunk * cfg.chunk_size in
+        let rcv_grids =
+          build_rcv_grids ~one_shot:(has_attr op "one_shot") cfg comm_grids p
+            ~z_halo ~off ~radius
+        in
+        let env = Buf_eval.new_env () in
+        env.point <- [ 0; 0 ];
+        List.iteri
+          (fun i a ->
+            if i < cfg.comm_count then
+              Buf_eval.bind env a (Buf_eval.Vgrid (List.nth rcv_grids i))
+            else if i = cfg.comm_count then Buf_eval.bind env a (Buf_eval.Vint off)
+            else Buf_eval.bind env a (Buf_eval.Vbuf (Bufview.of_array acc)))
+          recv_block.bargs;
+        ignore (Buf_eval.eval_block env recv_block)
+      done;
+      let env = Buf_eval.new_env () in
+      env.point <- p;
+      List.iteri
+        (fun i a ->
+          if i = cfg.comm_count then
+            Buf_eval.bind env a (Buf_eval.Vbuf (Bufview.of_array acc))
+          else
+            match List.nth operand_vals i with
+            | I.Rgrid g -> Buf_eval.bind env a (Buf_eval.Vgrid g)
+            | _ -> I.fail "csl_stencil.apply: operand %d is not a grid" i)
+        done_block.bargs;
+      let outs = Buf_eval.eval_block env done_block in
+      if List.length outs <> List.length out_grids then
+        I.fail "csl_stencil.apply: done region must yield one buffer per result";
+      List.iter2
+        (fun g out ->
+          match out with
+          | Buf_eval.Vbuf b -> I.grid_set g p (I.Rtensor (Bufview.to_array b))
+          | _ -> I.fail "csl_stencil.apply: done region must yield buffers")
+        out_grids outs);
+  List.map (fun g -> I.Rgrid g) out_grids
+
+let handler : I.handler =
+ fun ctx op run_block ->
+  if has_attr op "bufferized" then bufferized_handler ctx op
+  else tensor_handler ctx op run_block
+
+(** [csl_stencil.prefetch] marks a fetch; in single-address-space
+    semantics it is the identity (like [dmp.swap]). *)
+let prefetch_handler : I.handler =
+ fun ctx op _ -> [ I.lookup ctx.env (operand op 0) ]
+
+let register () =
+  I.register_handler "csl_stencil.apply" handler;
+  I.register_handler "csl_stencil.prefetch" prefetch_handler
+
+let () = register ()

@@ -1,0 +1,12 @@
+(** Reference semantics for [csl_stencil.apply], registered into the
+    sequential interpreter: per 2-D point, the receive-chunk region runs
+    once per chunk with views of the neighbours' column slices
+    (pre-scaled and distance-reduced when coefficients are promoted),
+    then the done region combines the accumulator with local data.
+    Handles both the tensor form (post group 2) and the bufferized form
+    (post group 3). *)
+
+(** Install the handler; idempotent.  {!Pipeline.compile} calls this, but
+    code that interprets csl_stencil modules directly must call it
+    first. *)
+val register : unit -> unit

@@ -1,0 +1,68 @@
+(** [linalg-fuse-multiply-add] (paper §5.7).
+
+    Recognizes a scalar multiplication into a temporary followed by an
+    addition of that temporary and rewrites the pair into a single
+    [linalg.fmac], which group 5 lowers to the [@fmacs] CSL builtin:
+
+    {v
+      %tmp = memref.alloc
+      linalg.mul_scalar(%a, %tmp) {scalar = k}
+      linalg.add(%d, %tmp, %d)
+      =>  linalg.fmac(%d, %a, %d) {scalar = k}
+    v} *)
+
+open Wsc_ir.Ir
+module Linalg = Wsc_dialects.Linalg_d
+
+let fuse_block (root : op) (blk : block) : int =
+  let uses = use_counts root in
+  let count v = Option.value (Hashtbl.find_opt uses v.vid) ~default:0 in
+  let fused = ref 0 in
+  (* map: tmp vid -> (a, scalar, mul op oid) for single-use mul_scalar temps *)
+  let muls = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      if o.opname = "linalg.mul_scalar" then begin
+        let a = operand o 0 and out = operand o 1 in
+        if count out = 2 (* the mul and one add *) then
+          Hashtbl.replace muls out.vid (a, float_attr_exn o "scalar", o.oid)
+      end)
+    blk.bops;
+  let killed = Hashtbl.create 8 in
+  rewrite_block
+    (fun o ->
+      if o.opname = "linalg.add" then begin
+        let a = operand o 0 and b = operand o 1 and out = operand o 2 in
+        let try_fuse x other =
+          match Hashtbl.find_opt muls x.vid with
+          | Some (src, k, mul_oid)
+            when other.vid = out.vid && not (Hashtbl.mem killed mul_oid) ->
+              Hashtbl.replace killed mul_oid ();
+              incr fused;
+              Some (Linalg.fmac ~a:other ~b:src ~out ~scalar:k)
+          | _ -> None
+        in
+        match try_fuse b a with
+        | Some f -> Replace [ f ]
+        | None -> (
+            match try_fuse a b with Some f -> Replace [ f ] | None -> Keep)
+      end
+      else Keep)
+    blk;
+  (* remove the consumed multiplies and their (now unused) temporaries *)
+  blk.bops <-
+    List.filter (fun o -> not (Hashtbl.mem killed o.oid)) blk.bops;
+  ignore
+    (dce root ~pure:(fun n -> n = "memref.alloc"));
+  !fused
+
+let run (m : op) : op =
+  walk_op
+    (fun o ->
+      if o.opname = "csl_stencil.apply" then
+        List.iter (fun r -> List.iter (fun b -> ignore (fuse_block m b)) r.blocks)
+          o.regions)
+    m;
+  m
+
+let pass = Wsc_ir.Pass.make "linalg-fuse-multiply-add" run

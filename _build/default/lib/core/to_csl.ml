@@ -1,0 +1,149 @@
+(** Group 5 (paper §5.5): lowering to the csl dialect.
+
+    - [convert-linalg-to-csl]: DPS linalg ops become CSL's high-throughput
+      DSD arithmetic builtins ([@fadds], [@fmuls], [@fmacs], [@fmovs], …).
+    - [lower-memref-to-dsd]: memref views become [get_mem_dsd] /
+      [increment_dsd_offset] definitions over the underlying buffers.
+    - [csl-wrapper-to-csl]: the wrapper module becomes two csl modules —
+      the layout metaprogram (set_rectangle + uniform PE placement) and
+      the PE program. *)
+
+open Wsc_ir.Ir
+module Memref = Wsc_dialects.Memref_d
+module Arith = Wsc_dialects.Arith
+module B = Wsc_ir.Builder
+
+exception Csl_lowering_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Csl_lowering_error s)) fmt
+
+(** Rewrite one function/task body block: memref views to DSDs, linalg
+    ops to builtins.  Buffer-producing csl ops (get_global, deref_ptr)
+    stay; each distinct view gets one DSD. *)
+let lower_block (blk : block) : unit =
+  let subst = Subst.create () in
+  let b = B.create () in
+  (* map memref value vid -> dsd value *)
+  let dsd_cache : (int, value) Hashtbl.t = Hashtbl.create 16 in
+  let buf_len (v : value) =
+    match v.vtyp with
+    | Memref ([ n ], _) -> n
+    | _ -> fail "expected 1-D memref, got %s" (Wsc_ir.Printer.typ_to_string v.vtyp)
+  in
+  (* DSD for a memref-typed value (a whole buffer) *)
+  let dsd_of (v : value) : value =
+    let v = Subst.resolve subst v in
+    match v.vtyp with
+    | Dsd _ -> v
+    | Memref _ -> (
+        match Hashtbl.find_opt dsd_cache v.vid with
+        | Some d -> d
+        | None ->
+            let d = B.insert b (Csl.get_mem_dsd v ~offset:0 ~length:(buf_len v) ()) in
+            Hashtbl.replace dsd_cache v.vid d;
+            d)
+    | _ -> fail "operand is neither memref nor DSD"
+  in
+  let scalar_const (k : float) : value = B.insert b (Arith.constant_f k) in
+  List.iter
+    (fun o ->
+      match o.opname with
+      | "memref.subview" ->
+          let base = dsd_of (operand o 0) in
+          let off = int_attr_exn o "offset" in
+          let len = int_attr_exn o "size" in
+          let d1 = B.insert b (Csl.increment_dsd_offset base ~by:off) in
+          let d2 = B.insert b (Csl.set_dsd_length d1 ~length:len) in
+          Subst.add subst ~from:(result o) ~to_:d2
+      | "memref.subview_dyn" ->
+          let base = dsd_of (operand o 0) in
+          let off = Subst.resolve subst (operand o 1) in
+          let len = int_attr_exn o "size" in
+          let d1 = B.insert b (Csl.increment_dsd_offset_by base off) in
+          let d2 = B.insert b (Csl.set_dsd_length d1 ~length:len) in
+          Subst.add subst ~from:(result o) ~to_:d2
+      | "linalg.add" ->
+          let a = dsd_of (operand o 0) and c = dsd_of (operand o 1) in
+          B.insert0 b (Csl.fadds ~dest:(dsd_of (operand o 2)) a c)
+      | "linalg.sub" ->
+          let a = dsd_of (operand o 0) and c = dsd_of (operand o 1) in
+          B.insert0 b (Csl.fsubs ~dest:(dsd_of (operand o 2)) a c)
+      | "linalg.mul" ->
+          let a = dsd_of (operand o 0) and c = dsd_of (operand o 1) in
+          B.insert0 b (Csl.fmuls ~dest:(dsd_of (operand o 2)) a c)
+      | "linalg.div" -> fail "CSL has no DSD divide builtin; divide by a constant instead"
+      | "linalg.mul_scalar" ->
+          let a = dsd_of (operand o 0) in
+          let k = scalar_const (float_attr_exn o "scalar") in
+          B.insert0 b (Csl.fmuls ~dest:(dsd_of (operand o 1)) a k)
+      | "linalg.add_scalar" ->
+          let a = dsd_of (operand o 0) in
+          let k = scalar_const (float_attr_exn o "scalar") in
+          B.insert0 b (Csl.fadds ~dest:(dsd_of (operand o 1)) a k)
+      | "linalg.fmac" ->
+          let a = dsd_of (operand o 0) and c = dsd_of (operand o 1) in
+          let k = scalar_const (float_attr_exn o "scalar") in
+          B.insert0 b (Csl.fmacs ~dest:(dsd_of (operand o 2)) a c k)
+      | "linalg.copy" ->
+          let a = dsd_of (operand o 0) in
+          B.insert0 b (Csl.fmovs ~dest:(dsd_of (operand o 1)) a)
+      | "linalg.fill" ->
+          let k = scalar_const (float_attr_exn o "value") in
+          B.insert0 b (Csl.fmovs ~dest:(dsd_of (operand o 0)) k)
+      | _ ->
+          o.operands <- List.map (Subst.resolve subst) o.operands;
+          B.insert0 b o)
+    blk.bops;
+  blk.bops <- B.ops b
+
+let lower_program (program : op) : unit =
+  List.iter
+    (fun o ->
+      match o.opname with
+      | "csl.func" | "csl.task" ->
+          List.iter (fun r -> List.iter lower_block r.blocks) o.regions;
+          (* nested scf.if blocks contain only csl ops already *)
+          walk_op
+            (fun inner ->
+              if inner.opname = "scf.if" then
+                List.iter (fun r -> List.iter lower_block r.blocks) inner.regions)
+            o
+      | _ -> ())
+    (Csl.module_body program)
+
+(** Generate the layout metaprogram module from the wrapper params. *)
+let layout_module (params : Csl_wrapper.params) : op =
+  let b = B.create () in
+  B.insert0 b (Csl.set_rectangle ~width:params.width ~height:params.height);
+  B.insert0 b
+    (Csl.place_pes
+       ~file:(params.program_name ^ ".csl")
+       ~params:
+         [
+           ("width", Int_attr params.width);
+           ("height", Int_attr params.height);
+           ("z_dim", Int_attr params.z_dim);
+           ("pattern", Int_attr params.pattern);
+           ("num_chunks", Int_attr params.num_chunks);
+           ("chunk_size", Int_attr params.chunk_size);
+         ]);
+  B.insert0 b (Csl.export ~name:"run" ~kind:"fn");
+  Csl.module_ ~kind:Csl.Layout ~name:(params.program_name ^ "_layout") (B.ops b)
+
+(** csl-wrapper-to-csl: produce a builtin.module holding the layout and
+    program csl modules. *)
+let run (m : op) : op =
+  if not (Csl_wrapper.is_module m) then fail "expected csl_wrapper.module";
+  let params = Csl_wrapper.params_of m in
+  let program =
+    match (entry_block (Csl_wrapper.program_region m)).bops with
+    | [ p ] when p.opname = "csl.module" -> p
+    | _ -> fail "program region does not hold a csl.module"
+  in
+  lower_program program;
+  set_attr program "width" (Int_attr params.width);
+  set_attr program "height" (Int_attr params.height);
+  let layout = layout_module params in
+  Wsc_dialects.Builtin.module_op [ layout; program ]
+
+let pass = Wsc_ir.Pass.make "csl-wrapper-to-csl" run

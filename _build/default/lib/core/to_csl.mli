@@ -1,0 +1,11 @@
+(** Group 5 (paper §5.5): lowering to the csl dialect — linalg ops to the
+    DSD arithmetic builtins, memref views to DSD definitions, and the
+    wrapper module to the (layout, program) pair of csl modules. *)
+
+exception Csl_lowering_error of string
+
+(** The layout metaprogram module generated from the wrapper params. *)
+val layout_module : Csl_wrapper.params -> Wsc_ir.Ir.op
+
+val run : Wsc_ir.Ir.op -> Wsc_ir.Ir.op
+val pass : Wsc_ir.Pass.t

@@ -1,0 +1,44 @@
+(** Group 2 (paper §5.2): convert-stencil-to-csl-stencil.
+
+    Replaces each [dmp.swap] + [stencil.apply] pair with one
+    [csl_stencil.apply] with explicit chunked communication: the returned
+    expression is decomposed into additive terms; remote-pure terms form
+    the receive-chunk region (reduced chunk-by-chunk into the
+    accumulator, with coefficients promoted into the communication layer
+    when every remote term is coefficient × access); the rest forms the
+    done region.  Terms mixing local and remote factors fall back to
+    pack mode (raw columns staged, all compute in the done region).
+    Chunk size is the largest divisor of the communicated z range whose
+    receive buffers fit the memory budget. *)
+
+exception Lowering_error of string
+
+type options = {
+  comm_budget_bytes : int;  (** receive-buffer budget per PE *)
+  promote_coefficients : bool;  (** §5.7 coefficient promotion *)
+  one_shot_reduction : bool;
+      (** §5.7: reduce all directions into one staging buffer and consume
+          it with a single builtin call *)
+  num_chunks_override : int option;  (** ablation: force a chunk count *)
+}
+
+val default_options : options
+
+(** Largest chunk size whose buffers fit, as (num_chunks, chunk_size).
+    @raise Lowering_error when nothing fits or the override does not
+    divide the range. *)
+val choose_chunks :
+  options ->
+  promoted:bool ->
+  len:int ->
+  Wsc_dialects.Dmp.swap_desc list list ->
+  int * int
+
+(** lower-dmp-swap-to-csl-prefetch: [dmp.swap] ops become
+    [csl_stencil.prefetch] markers with the same exchange descriptors. *)
+val lower_swaps : Wsc_ir.Ir.op -> Wsc_ir.Ir.op
+
+val lower_swaps_pass : Wsc_ir.Pass.t
+
+val convert : options -> Wsc_ir.Ir.op -> Wsc_ir.Ir.op
+val pass : ?options:options -> unit -> Wsc_ir.Pass.t

@@ -1,0 +1,1 @@
+lib/dialects/arith.mli: Wsc_ir

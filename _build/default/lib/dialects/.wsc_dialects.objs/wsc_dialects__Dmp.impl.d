@@ -1,0 +1,1 @@
+lib/dialects/dmp.ml: List Wsc_ir

@@ -1,0 +1,1 @@
+lib/dialects/dmp.mli: Wsc_ir

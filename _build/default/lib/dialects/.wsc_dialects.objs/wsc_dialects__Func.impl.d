@@ -1,0 +1,1 @@
+lib/dialects/func.ml: List Wsc_ir

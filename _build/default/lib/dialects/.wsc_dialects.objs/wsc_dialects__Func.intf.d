@@ -1,0 +1,1 @@
+lib/dialects/func.mli: Wsc_ir

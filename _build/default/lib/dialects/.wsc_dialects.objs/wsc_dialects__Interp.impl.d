@@ -1,0 +1,1 @@
+lib/dialects/interp.ml: Array Float Func Hashtbl List Printf Scf Stencil Wsc_ir

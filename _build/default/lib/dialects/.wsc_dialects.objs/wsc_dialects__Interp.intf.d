@@ -1,0 +1,1 @@
+lib/dialects/interp.mli: Wsc_ir

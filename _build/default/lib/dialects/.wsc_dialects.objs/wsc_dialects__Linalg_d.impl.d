@@ -1,0 +1,1 @@
+lib/dialects/linalg_d.ml: List Wsc_ir

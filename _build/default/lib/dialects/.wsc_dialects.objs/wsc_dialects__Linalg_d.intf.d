@@ -1,0 +1,1 @@
+lib/dialects/linalg_d.mli: Wsc_ir

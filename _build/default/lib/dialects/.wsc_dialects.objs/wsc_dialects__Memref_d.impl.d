@@ -1,0 +1,1 @@
+lib/dialects/memref_d.ml: List Wsc_ir

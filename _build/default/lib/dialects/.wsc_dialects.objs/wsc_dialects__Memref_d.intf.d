@@ -1,0 +1,1 @@
+lib/dialects/memref_d.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/dialects/scf.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/dialects/stencil.ml: List Wsc_ir

@@ -1,0 +1,1 @@
+lib/dialects/stencil.mli: Wsc_ir

@@ -1,0 +1,1 @@
+lib/dialects/tensor_d.mli: Wsc_ir

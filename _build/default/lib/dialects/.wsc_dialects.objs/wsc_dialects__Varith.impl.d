@@ -1,0 +1,1 @@
+lib/dialects/varith.ml: List Wsc_ir

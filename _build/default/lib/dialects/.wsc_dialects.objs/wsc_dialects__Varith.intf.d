@@ -1,0 +1,1 @@
+lib/dialects/varith.mli: Wsc_ir

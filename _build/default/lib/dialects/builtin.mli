@@ -1,0 +1,12 @@
+(** The [builtin] dialect: the top-level module container. *)
+
+open Wsc_ir.Ir
+
+val module_name : string
+
+(** A [builtin.module] holding [ops] in a single block. *)
+val module_op : op list -> op
+
+val is_module : op -> bool
+val body : op -> op list
+val set_body : op -> op list -> unit

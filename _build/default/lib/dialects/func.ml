@@ -1,0 +1,47 @@
+(** The [func] dialect: functions, calls and returns. *)
+
+open Wsc_ir.Ir
+module Verifier = Wsc_ir.Verifier
+
+(** Define a function.  [body] receives a builder and the entry block
+    arguments. *)
+let func ~(name : string) ~(args : typ list) ~(results : typ list)
+    (body : Wsc_ir.Builder.t -> value list -> unit) : op =
+  let region = Wsc_ir.Builder.region_with_args args body in
+  create_op "func.func" ~results:[]
+    ~attrs:
+      [
+        ("sym_name", String_attr name);
+        ("function_type", Type_attr (Function (args, results)));
+      ]
+    ~regions:[ region ]
+
+let return_ (vals : value list) : op =
+  create_op "func.return" ~operands:vals ~results:[]
+
+let call ~(callee : string) (args : value list) ~(results : typ list) : op =
+  create_op "func.call" ~operands:args ~results
+    ~attrs:[ ("callee", Symbol_ref callee) ]
+
+let name_of (f : op) : string = string_attr_exn f "sym_name"
+
+let signature (f : op) : typ list * typ list =
+  match attr_exn f "function_type" with
+  | Type_attr (Function (ins, outs)) -> (ins, outs)
+  | _ -> invalid_arg "func.func: bad function_type"
+
+let entry (f : op) : block = body_block f 0
+
+(** Find a function by symbol name within a module. *)
+let lookup (m : op) (name : string) : op option =
+  find_op (fun o -> o.opname = "func.func" && string_attr o "sym_name" = Some name) m
+
+let () =
+  Verifier.register "func.func" (fun op ->
+      ignore (name_of op);
+      let ins, _ = signature op in
+      let b = entry op in
+      if List.length b.bargs <> List.length ins then
+        Verifier.fail "func.func %s: entry block has %d args, type says %d"
+          (name_of op) (List.length b.bargs) (List.length ins));
+  Verifier.register_terminator "func.func" [ "func.return" ]

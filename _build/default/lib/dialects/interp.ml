@@ -1,0 +1,355 @@
+(** Sequential reference interpreter.
+
+    Executes modules built from the [func]/[scf]/[arith]/[stencil]/[tensor]/
+    [varith]/[dmp] dialects with the mathematical (single-address-space)
+    semantics the paper starts from.  It is the correctness oracle: the
+    compiled WSE program, executed on the fabric simulator, must produce
+    point-wise identical grids. *)
+
+open Wsc_ir.Ir
+
+type grid = { gbounds : (int * int) list; gelt : typ; gdata : float array }
+(** A stencil grid: bounds per dimension, flattened row-major data.  When
+    [gelt] is a tensor (after tensorization), the innermost tensor extent
+    is folded into the flattened layout. *)
+
+type rtvalue =
+  | Rfloat of float
+  | Rint of int
+  | Rgrid of grid
+  | Rtensor of float array
+
+exception Interp_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Interp_error s)) fmt
+
+(** {1 Grid helpers} *)
+
+
+let tensor_extent (elt : typ) : int =
+  match elt with Tensor ([ n ], _) -> n | Tensor _ -> fail "grid: bad tensor elt" | _ -> 1
+
+let grid_total_size (bounds : (int * int) list) (elt : typ) : int =
+  List.fold_left (fun acc (lb, ub) -> acc * (ub - lb)) 1 bounds * tensor_extent elt
+
+let make_grid (bounds : (int * int) list) (elt : typ) : grid =
+  { gbounds = bounds; gelt = elt; gdata = Array.make (grid_total_size bounds elt) 0.0 }
+
+let grid_of_typ = function
+  | Temp (b, e) | Field (b, e) -> make_grid b e
+  | t -> fail "not a grid type: %s" (Wsc_ir.Printer.typ_to_string t)
+
+(** Flattened index of point [idx] (absolute coordinates within bounds). *)
+let flat_index g (idx : int list) : int =
+  let rec go bounds idx acc =
+    match (bounds, idx) with
+    | [], [] -> acc
+    | (lb, ub) :: bs, i :: is ->
+        if i < lb || i >= ub then fail "grid index %d out of [%d,%d)" i lb ub;
+        go bs is ((acc * (ub - lb)) + (i - lb))
+    | _ -> fail "grid index rank mismatch"
+  in
+  go g.gbounds idx 0
+
+let grid_get_scalar g idx = g.gdata.(flat_index g idx)
+let grid_set_scalar g idx v = g.gdata.(flat_index g idx) <- v
+
+(** Read the element (scalar or z-column tensor) at point [idx]. *)
+let grid_get g idx : rtvalue =
+  let z = tensor_extent g.gelt in
+  if z = 1 then Rfloat (grid_get_scalar g idx)
+  else begin
+    let base = flat_index g idx * z in
+    Rtensor (Array.sub g.gdata base z)
+  end
+
+let grid_set g idx (v : rtvalue) : unit =
+  let z = tensor_extent g.gelt in
+  match v with
+  | Rfloat f when z = 1 -> grid_set_scalar g idx f
+  | Rtensor a when Array.length a = z ->
+      let base = flat_index g idx * z in
+      Array.blit a 0 g.gdata base z
+  | Rfloat _ -> fail "grid_set: scalar into tensor grid"
+  | Rtensor a -> fail "grid_set: tensor size %d, grid elt %d" (Array.length a) z
+  | _ -> fail "grid_set: bad value"
+
+let copy_grid g = { g with gdata = Array.copy g.gdata }
+
+(** All points of [bounds] in row-major order. *)
+let iter_points (bounds : (int * int) list) (f : int list -> unit) : unit =
+  let rec go prefix = function
+    | [] -> f (List.rev prefix)
+    | (lb, ub) :: rest ->
+        for i = lb to ub - 1 do
+          go (i :: prefix) rest
+        done
+  in
+  go [] bounds
+
+(** {1 Value environment} *)
+
+type env = { vals : (int, rtvalue) Hashtbl.t }
+
+let new_env () = { vals = Hashtbl.create 64 }
+
+let bind env (v : value) (r : rtvalue) = Hashtbl.replace env.vals v.vid r
+
+let lookup env (v : value) : rtvalue =
+  match Hashtbl.find_opt env.vals v.vid with
+  | Some r -> r
+  | None -> fail "unbound SSA value %%%d" v.vid
+
+let as_float = function
+  | Rfloat f -> f
+  | Rint i -> float_of_int i
+  | _ -> fail "expected scalar float"
+
+let as_int = function
+  | Rint i -> i
+  | Rfloat f -> int_of_float f
+  | _ -> fail "expected integer"
+
+let as_grid = function Rgrid g -> g | _ -> fail "expected grid"
+let as_tensor = function
+  | Rtensor a -> a
+  | Rfloat f -> [| f |]
+  | _ -> fail "expected tensor"
+
+(** Elementwise float operation, rank-polymorphic. *)
+let elementwise2 (f : float -> float -> float) (a : rtvalue) (b : rtvalue) : rtvalue =
+  match (a, b) with
+  | Rfloat x, Rfloat y -> Rfloat (f x y)
+  | Rtensor x, Rtensor y ->
+      if Array.length x <> Array.length y then
+        fail "elementwise: tensor sizes %d vs %d" (Array.length x) (Array.length y);
+      Rtensor (Array.mapi (fun i xi -> f xi y.(i)) x)
+  | Rtensor x, Rfloat y -> Rtensor (Array.map (fun xi -> f xi y) x)
+  | Rfloat x, Rtensor y -> Rtensor (Array.map (fun yi -> f x yi) y)
+  | _ -> fail "elementwise: bad operands"
+
+(** {1 Interpreter} *)
+
+type ctx = {
+  module_ : op;
+  env : env;
+  mutable point : int list;  (** current stencil point inside an apply body *)
+}
+
+(** Extension point: dialects defined in downstream libraries (the csl
+    dialects) register handlers for their ops here. *)
+type handler = ctx -> op -> (ctx -> block -> rtvalue list) -> rtvalue list
+
+let handlers : (string, handler) Hashtbl.t = Hashtbl.create 16
+
+let register_handler name (h : handler) = Hashtbl.replace handlers name h
+
+let rec run_block (ctx : ctx) (b : block) : rtvalue list =
+  let result = ref [] in
+  List.iter
+    (fun o ->
+      match run_op ctx o with
+      | `Values vs -> List.iter2 (fun r v -> bind ctx.env r v) o.results vs
+      | `Terminator vs -> result := vs)
+    b.bops;
+  !result
+
+and run_op (ctx : ctx) (o : op) : [ `Values of rtvalue list | `Terminator of rtvalue list ]
+    =
+  let env = ctx.env in
+  let operand_vals () = List.map (lookup env) o.operands in
+  match o.opname with
+  | "arith.constant" -> (
+      match (attr o "value", (result o).vtyp) with
+      | Some (Float_attr f), Tensor ([ n ], _) -> `Values [ Rtensor (Array.make n f) ]
+      | Some (Float_attr f), _ -> `Values [ Rfloat f ]
+      | Some (Int_attr i), (Index | I16 | I32 | I64) -> `Values [ Rint i ]
+      | Some (Int_attr i), _ -> `Values [ Rfloat (float_of_int i) ]
+      | _ -> fail "arith.constant: bad value")
+  | "arith.addf" ->
+      let a, b = (lookup env (operand o 0), lookup env (operand o 1)) in
+      `Values [ elementwise2 ( +. ) a b ]
+  | "arith.subf" ->
+      let a, b = (lookup env (operand o 0), lookup env (operand o 1)) in
+      `Values [ elementwise2 ( -. ) a b ]
+  | "arith.mulf" ->
+      let a, b = (lookup env (operand o 0), lookup env (operand o 1)) in
+      `Values [ elementwise2 ( *. ) a b ]
+  | "arith.divf" ->
+      let a, b = (lookup env (operand o 0), lookup env (operand o 1)) in
+      `Values [ elementwise2 ( /. ) a b ]
+  | "arith.addi" ->
+      `Values [ Rint (as_int (lookup env (operand o 0)) + as_int (lookup env (operand o 1))) ]
+  | "arith.subi" ->
+      `Values [ Rint (as_int (lookup env (operand o 0)) - as_int (lookup env (operand o 1))) ]
+  | "arith.muli" ->
+      `Values [ Rint (as_int (lookup env (operand o 0)) * as_int (lookup env (operand o 1))) ]
+  | "arith.cmpi" ->
+      let a = as_int (lookup env (operand o 0)) and b = as_int (lookup env (operand o 1)) in
+      let r =
+        match string_attr_exn o "predicate" with
+        | "slt" -> a < b
+        | "sle" -> a <= b
+        | "sgt" -> a > b
+        | "sge" -> a >= b
+        | "eq" -> a = b
+        | "ne" -> a <> b
+        | p -> fail "cmpi: bad predicate %s" p
+      in
+      `Values [ Rint (if r then 1 else 0) ]
+  | "varith.add" ->
+      let vs = operand_vals () in
+      `Values [ List.fold_left (elementwise2 ( +. )) (List.hd vs) (List.tl vs) ]
+  | "varith.mul" ->
+      let vs = operand_vals () in
+      `Values [ List.fold_left (elementwise2 ( *. )) (List.hd vs) (List.tl vs) ]
+  | "tensor.empty" ->
+      let n = match (result o).vtyp with Tensor ([ n ], _) -> n | _ -> 0 in
+      `Values [ Rtensor (Array.make n 0.0) ]
+  | "memref.alloc" ->
+      (* buffers at function level are zero-initialized flat arrays *)
+      `Values [ Rtensor (Array.make (num_elements (result o).vtyp) 0.0) ]
+  | "tensor.extract_slice" ->
+      let a = as_tensor (lookup env (operand o 0)) in
+      let off = int_attr_exn o "offset" and size = int_attr_exn o "size" in
+      `Values [ Rtensor (Array.sub a off size) ]
+  | "tensor.insert_slice" ->
+      let src = as_tensor (lookup env (operand o 0)) in
+      let dst = Array.copy (as_tensor (lookup env (operand o 1))) in
+      let off = as_int (lookup env (operand o 2)) in
+      Array.blit src 0 dst off (Array.length src);
+      `Values [ Rtensor dst ]
+  | "stencil.load" -> (
+      match lookup env (operand o 0) with
+      | Rgrid g -> `Values [ Rgrid g ]
+      | _ -> fail "stencil.load: operand is not a grid")
+  | "stencil.store" ->
+      let src = as_grid (lookup env (operand o 0)) in
+      let dst = as_grid (lookup env (operand o 1)) in
+      (* copy overlapping region *)
+      iter_points src.gbounds (fun p -> grid_set dst p (grid_get src p));
+      `Values []
+  | "dmp.swap" ->
+      (* halo exchange is the identity in single-address-space semantics *)
+      `Values [ lookup env (operand o 0) ]
+  | "stencil.apply" -> `Values (run_apply ctx o)
+  | "stencil.access" | "csl_stencil.access" ->
+      let g = as_grid (lookup env (operand o 0)) in
+      let off = dense_ints_exn o "offset" in
+      if List.length ctx.point <> List.length off then
+        fail "stencil.access: offset rank %d at point rank %d" (List.length off)
+          (List.length ctx.point);
+      let idx = List.map2 ( + ) ctx.point off in
+      `Values [ grid_get g idx ]
+  | "stencil.return" | "scf.yield" | "func.return" | "csl_stencil.yield" ->
+      `Terminator (operand_vals ())
+  | "scf.for" ->
+      let lb = as_int (lookup env (operand o 0)) in
+      let ub = as_int (lookup env (operand o 1)) in
+      let step = as_int (lookup env (operand o 2)) in
+      let body = Scf.for_body o in
+      let carried = ref (List.map (lookup env) (Scf.for_iter_inits o)) in
+      let i = ref lb in
+      while !i < ub do
+        bind env (List.hd body.bargs) (Rint !i);
+        List.iter2 (fun arg v -> bind env arg v) (List.tl body.bargs) !carried;
+        carried := run_block ctx body;
+        i := !i + step
+      done;
+      `Values !carried
+  | "scf.if" ->
+      let c = as_int (lookup env (operand o 0)) in
+      let r = region o (if c <> 0 then 0 else 1) in
+      `Values (run_block ctx (entry_block r))
+  | "func.call" ->
+      let callee = string_attr_exn o "callee" in
+      let f =
+        match Func.lookup ctx.module_ callee with
+        | Some f -> f
+        | None -> fail "func.call: unknown function %s" callee
+      in
+      `Values (call_func ctx f (operand_vals ()))
+  | name -> (
+      match Hashtbl.find_opt handlers name with
+      | Some h -> `Values (h ctx o run_block)
+      | None -> fail "interpreter: unsupported op %s" name)
+
+and run_apply (ctx : ctx) (o : op) : rtvalue list =
+  let env = ctx.env in
+  let body = Stencil.apply_body o in
+  List.iter2 (fun arg input -> bind env arg (lookup env input)) body.bargs o.operands;
+  (* Dirichlet semantics: start each output grid as a copy of the first
+     input grid when shapes agree, then overwrite the compute region. *)
+  let first_input =
+    match o.operands with v :: _ -> Some (lookup env v) | [] -> None
+  in
+  let elt_of = function Temp (_, e) | Field (_, e) -> e | t -> t in
+  let out_grids =
+    List.map
+      (fun r ->
+        match first_input with
+        | Some (Rgrid g)
+          when g.gbounds = bounds_of r.vtyp
+               && tensor_extent g.gelt = tensor_extent (elt_of r.vtyp) ->
+            copy_grid g
+        | _ -> grid_of_typ r.vtyp)
+      o.results
+  in
+  let out_bounds = Stencil.compute_bounds o in
+  let saved_point = ctx.point in
+  iter_points out_bounds (fun p ->
+      ctx.point <- p;
+      let vals = run_block ctx body in
+      List.iter2 (fun g v -> grid_set g p v) out_grids vals);
+  ctx.point <- saved_point;
+  List.map (fun g -> Rgrid g) out_grids
+
+and call_func (ctx : ctx) (f : op) (args : rtvalue list) : rtvalue list =
+  let entry = Func.entry f in
+  if List.length entry.bargs <> List.length args then
+    fail "call %s: arity mismatch" (Func.name_of f);
+  List.iter2 (fun p a -> bind ctx.env p a) entry.bargs args;
+  run_block ctx entry
+
+(** Run function [name] of module [m] on [args]. *)
+let run_func (m : op) ~(name : string) (args : rtvalue list) : rtvalue list =
+  let f =
+    match Func.lookup m name with
+    | Some f -> f
+    | None -> fail "no function %s" name
+  in
+  let ctx = { module_ = m; env = new_env (); point = [] } in
+  call_func ctx f args
+
+(** {1 Grid initialization and comparison helpers} *)
+
+(** Deterministic pseudo-random-ish init so reference and simulated runs
+    agree: value depends only on the point coordinates. *)
+let init_value (idx : int list) : float =
+  let h = List.fold_left (fun acc i -> (acc * 31) + i + 17) 7 idx in
+  float_of_int (((h mod 1000) + 1000) mod 1000) /. 997.0
+
+let init_grid (g : grid) : unit =
+  let z = tensor_extent g.gelt in
+  if z = 1 then iter_points g.gbounds (fun p -> grid_set_scalar g p (init_value p))
+  else
+    iter_points g.gbounds (fun p ->
+        let col = Array.init z (fun k -> init_value (p @ [ k ])) in
+        grid_set g p (Rtensor col))
+
+(** Reinterpret a 3-D scalar grid as the corresponding 2-D grid of
+    z-column tensors (identical flattened layout) — used to feed the same
+    initial data to a module before and after tensorization. *)
+let retensorize_grid (g : grid) : grid =
+  match g.gbounds with
+  | [ bx; by; (zl, zu) ] ->
+      { gbounds = [ bx; by ]; gelt = Tensor ([ zu - zl ], F32); gdata = Array.copy g.gdata }
+  | _ -> fail "retensorize_grid: grid is not 3-D scalar"
+
+let max_abs_diff (a : grid) (b : grid) : float =
+  if Array.length a.gdata <> Array.length b.gdata then infinity
+  else begin
+    let m = ref 0.0 in
+    Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.gdata.(i)))) a.gdata;
+    !m
+  end

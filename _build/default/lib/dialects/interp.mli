@@ -1,0 +1,83 @@
+(** Sequential reference interpreter — the correctness oracle.  Executes
+    modules built from the standard dialects with the mathematical
+    single-address-space semantics the paper starts from; downstream
+    dialects register handlers for their ops. *)
+
+open Wsc_ir.Ir
+
+type grid = { gbounds : (int * int) list; gelt : typ; gdata : float array }
+(** A stencil grid: half-open bounds per dimension, flattened row-major
+    data; a tensor element type folds its extent into the layout. *)
+
+type rtvalue = Rfloat of float | Rint of int | Rgrid of grid | Rtensor of float array
+
+exception Interp_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+
+(** {1 Grids} *)
+
+val tensor_extent : typ -> int
+val make_grid : (int * int) list -> typ -> grid
+
+(** @raise Interp_error when the type is not a stencil grid. *)
+val grid_of_typ : typ -> grid
+
+(** Flattened index of an absolute point.
+    @raise Interp_error out of bounds. *)
+val flat_index : grid -> int list -> int
+
+val grid_get_scalar : grid -> int list -> float
+val grid_set_scalar : grid -> int list -> float -> unit
+
+(** Element (scalar or z-column copy) at a point. *)
+val grid_get : grid -> int list -> rtvalue
+
+val grid_set : grid -> int list -> rtvalue -> unit
+val copy_grid : grid -> grid
+
+(** All points in row-major order. *)
+val iter_points : (int * int) list -> (int list -> unit) -> unit
+
+(** Reinterpret a 3-D scalar grid as the 2-D grid of z-column tensors
+    with the identical flattened layout. *)
+val retensorize_grid : grid -> grid
+
+(** {1 Values} *)
+
+val as_float : rtvalue -> float
+val as_int : rtvalue -> int
+val as_grid : rtvalue -> grid
+val as_tensor : rtvalue -> float array
+
+(** Rank-polymorphic elementwise combination. *)
+val elementwise2 : (float -> float -> float) -> rtvalue -> rtvalue -> rtvalue
+
+(** {1 Execution} *)
+
+type env
+
+val new_env : unit -> env
+val bind : env -> value -> rtvalue -> unit
+val lookup : env -> value -> rtvalue
+
+type ctx = { module_ : op; env : env; mutable point : int list }
+
+(** Extension point for downstream dialects: handler receives the
+    context, the op, and a block runner. *)
+type handler = ctx -> op -> (ctx -> block -> rtvalue list) -> rtvalue list
+
+val register_handler : string -> handler -> unit
+
+(** Run function [name] of a module on the given arguments. *)
+val run_func : op -> name:string -> rtvalue list -> rtvalue list
+
+(** {1 Test data} *)
+
+(** Deterministic initialization value for a point. *)
+val init_value : int list -> float
+
+val init_grid : grid -> unit
+
+(** Point-wise maximum |difference|; infinite on size mismatch. *)
+val max_abs_diff : grid -> grid -> float

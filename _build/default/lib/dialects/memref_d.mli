@@ -1,0 +1,19 @@
+(** The [memref] dialect subset: allocation, copies and 1-D subviews.
+    After bufferization (group 3), grid data lives in memrefs that group
+    5 lowers to DSD-addressed buffers. *)
+
+open Wsc_ir.Ir
+
+val alloc : shape:int list -> ?elt:typ -> ?hint:string -> unit -> op
+val copy : src:value -> dst:value -> op
+
+(** Static 1-D subview. *)
+val subview : value -> offset:int -> size:int -> op
+
+(** 1-D subview at a dynamic offset (chunk positions). *)
+val subview_dyn : value -> offset:value -> size:int -> op
+
+(** Named global buffer (a CSL top-level array). *)
+val global : name:string -> shape:int list -> ?elt:typ -> unit -> op
+
+val get_global : name:string -> typ:typ -> op

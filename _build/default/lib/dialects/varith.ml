@@ -1,0 +1,33 @@
+(** The [varith] dialect: variadic arithmetic (paper §5.7).
+
+    Representing chains of additions or multiplications as a single
+    variadic op simplifies splitting the computation between the
+    remote-data and local-data regions and enables the
+    [varith-fuse-repeated-operands] optimization. *)
+
+open Wsc_ir.Ir
+module Verifier = Wsc_ir.Verifier
+
+let add (vals : value list) : op =
+  match vals with
+  | v :: _ -> create_op "varith.add" ~operands:vals ~results:[ v.vtyp ]
+  | [] -> invalid_arg "varith.add: empty operand list"
+
+let mul (vals : value list) : op =
+  match vals with
+  | v :: _ -> create_op "varith.mul" ~operands:vals ~results:[ v.vtyp ]
+  | [] -> invalid_arg "varith.mul: empty operand list"
+
+let is_varith op = op.opname = "varith.add" || op.opname = "varith.mul"
+
+let () =
+  List.iter
+    (fun name ->
+      Verifier.register name (fun op ->
+          if op.operands = [] then Verifier.fail "%s: needs >= 1 operand" name;
+          let t = (List.hd op.operands).vtyp in
+          List.iter
+            (fun v ->
+              if v.vtyp <> t then Verifier.fail "%s: mixed operand types" name)
+            op.operands))
+    [ "varith.add"; "varith.mul" ]

@@ -1,0 +1,11 @@
+(** The [varith] dialect (paper §5.7): variadic additions and
+    multiplications, keeping a stencil reduction's additive structure
+    explicit for the region split and for fuse-repeated-operands. *)
+
+open Wsc_ir.Ir
+
+(** @raise Invalid_argument on an empty operand list (both). *)
+val add : value list -> op
+
+val mul : value list -> op
+val is_varith : op -> bool

@@ -1,0 +1,1 @@
+lib/frontends/devito_fe.ml: List Printf Stdlib Stencil_program

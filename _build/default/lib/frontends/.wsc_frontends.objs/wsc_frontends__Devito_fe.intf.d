@@ -1,0 +1,1 @@
+lib/frontends/devito_fe.mli: Stencil_program

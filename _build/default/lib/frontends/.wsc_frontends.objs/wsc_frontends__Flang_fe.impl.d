@@ -1,0 +1,1 @@
+lib/frontends/flang_fe.ml: List Option Printf Stencil_program String

@@ -1,0 +1,1 @@
+lib/frontends/flang_fe.mli: Stencil_program

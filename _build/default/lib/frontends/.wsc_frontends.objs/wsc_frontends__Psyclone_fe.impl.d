@@ -1,0 +1,1 @@
+lib/frontends/psyclone_fe.ml: List Option Printf Stencil_program String

@@ -1,0 +1,1 @@
+lib/frontends/psyclone_fe.mli: Stencil_program

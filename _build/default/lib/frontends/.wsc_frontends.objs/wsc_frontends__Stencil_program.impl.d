@@ -1,0 +1,1 @@
+lib/frontends/stencil_program.ml: Hashtbl List Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/frontends/stencil_program.mli: Wsc_dialects Wsc_ir

@@ -1,0 +1,388 @@
+(** Mini-Flang frontend.
+
+    Parses a small Fortran subset — perfectly nested [do] loops over
+    3D [real] arrays with constant-offset accesses, optionally surrounded
+    by a timestep loop with buffer swap — and extracts stencil kernels from
+    it, mirroring the stencil-extraction pass added to Flang in the paper's
+    prior work (Brown et al., §3).
+
+    Accepted shape (case-insensitive, free form):
+    {v
+      real :: u(0:nx-1, 0:ny-1, 0:nz-1)
+      real :: un(0:nx-1, 0:ny-1, 0:nz-1)
+      do step = 1, 100
+        do k = 1, nz-2
+          do j = 1, ny-2
+            do i = 1, nx-2
+              un(i,j,k) = 0.166 * (u(i-1,j,k) + u(i+1,j,k) + u(i,j,k))
+            end do
+          end do
+        end do
+        u = un
+      end do
+    v}
+    Extents are provided by the caller ([nx]/[ny]/[nz] stay symbolic in the
+    source). *)
+
+module P = Stencil_program
+
+exception Frontend_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Frontend_error s)) fmt
+
+(** {1 Lexer} *)
+
+type tok = Kw of string | Ident of string | Num of float | Punct of char | Newline
+
+let keywords = [ "real"; "do"; "end"; "enddo"; "integer" ]
+
+let lex (src : string) : tok list =
+  let toks = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  let emit t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '!' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '\n' then (emit Newline; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let s = !i in
+      while
+        !i < n
+        && ((src.[!i] >= 'a' && src.[!i] <= 'z')
+           || (src.[!i] >= 'A' && src.[!i] <= 'Z')
+           || (src.[!i] >= '0' && src.[!i] <= '9')
+           || src.[!i] = '_')
+      do
+        incr i
+      done;
+      let w = String.lowercase_ascii (String.sub src s (!i - s)) in
+      if List.mem w keywords then emit (Kw w) else emit (Ident w)
+    end
+    else if c >= '0' && c <= '9' then begin
+      let s = !i in
+      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = '.') do
+        incr i
+      done;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done
+      end;
+      emit (Num (float_of_string (String.sub src s (!i - s))))
+    end
+    else begin
+      emit (Punct c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(** {1 AST} *)
+
+type fexpr =
+  | Fnum of float
+  | Fref of string * findex list
+  | Fvar of string
+  | Fbin of char * fexpr * fexpr
+  | Fneg of fexpr
+
+and findex = { base : string; offset : int }
+
+type fstmt =
+  | Assign of { array : string; indices : findex list; rhs : fexpr }
+  | Swap of string * string  (** whole-array copy [u = un] *)
+  | Do of { var : string; lo : string; hi : string; body : fstmt list }
+
+(** {1 Parser} *)
+
+type pstate = { mutable toks : tok list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> Newline
+let at_eof st = st.toks = []
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let skip_newlines st =
+  while (not (at_eof st)) && peek st = Newline do advance st done
+
+let expect_punct st c =
+  match peek st with
+  | Punct c' when c' = c -> advance st
+  | _ -> fail "expected '%c'" c
+
+let parse_index st : findex =
+  match peek st with
+  | Ident v -> (
+      advance st;
+      match peek st with
+      | Punct '+' ->
+          advance st;
+          (match peek st with
+          | Num f -> advance st; { base = v; offset = int_of_float f }
+          | _ -> fail "expected offset after '+'")
+      | Punct '-' ->
+          advance st;
+          (match peek st with
+          | Num f -> advance st; { base = v; offset = -int_of_float f }
+          | _ -> fail "expected offset after '-'")
+      | _ -> { base = v; offset = 0 })
+  | _ -> fail "expected index expression"
+
+let parse_index_list st : findex list =
+  expect_punct st '(';
+  let rec go acc =
+    let ix = parse_index st in
+    match peek st with
+    | Punct ',' -> advance st; go (acc @ [ ix ])
+    | Punct ')' -> advance st; acc @ [ ix ]
+    | _ -> fail "expected ',' or ')' in index list"
+  in
+  go []
+
+let rec parse_expr st : fexpr = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_term st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Punct '+' -> advance st; lhs := Fbin ('+', !lhs, parse_term st)
+    | Punct '-' -> advance st; lhs := Fbin ('-', !lhs, parse_term st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_term st =
+  let lhs = ref (parse_factor st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Punct '*' -> advance st; lhs := Fbin ('*', !lhs, parse_factor st)
+    | Punct '/' -> advance st; lhs := Fbin ('/', !lhs, parse_factor st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_factor st =
+  match peek st with
+  | Num f -> advance st; Fnum f
+  | Punct '-' -> advance st; Fneg (parse_factor st)
+  | Punct '(' ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ')';
+      e
+  | Ident name -> (
+      advance st;
+      match peek st with
+      | Punct '(' -> Fref (name, parse_index_list st)
+      | _ -> Fvar name)
+  | _ -> fail "expected expression"
+
+let parse_do_bound st : string =
+  match peek st with
+  | Num f -> advance st; string_of_int (int_of_float f)
+  | Ident v -> (
+      advance st;
+      match peek st with
+      | Punct '-' ->
+          advance st;
+          (match peek st with
+          | Num f -> advance st; Printf.sprintf "%s-%d" v (int_of_float f)
+          | _ -> fail "do: bad bound")
+      | _ -> v)
+  | _ -> fail "do: bad bound"
+
+(** Parse one statement (assumes not at [end]). *)
+let rec parse_stmt st : fstmt =
+  match peek st with
+  | Kw "do" ->
+      advance st;
+      let var = match peek st with Ident v -> advance st; v | _ -> fail "do: var" in
+      expect_punct st '=';
+      let lo = parse_do_bound st in
+      expect_punct st ',';
+      let hi = parse_do_bound st in
+      let body = parse_body st in
+      Do { var; lo; hi; body }
+  | Ident name -> (
+      advance st;
+      match peek st with
+      | Punct '(' ->
+          let indices = parse_index_list st in
+          expect_punct st '=';
+          let rhs = parse_expr st in
+          Assign { array = name; indices; rhs }
+      | Punct '=' -> (
+          advance st;
+          match peek st with
+          | Ident src -> advance st; Swap (name, src)
+          | _ -> fail "bad whole-array assignment")
+      | _ -> fail "unexpected statement")
+  | _ -> fail "unexpected token in statement position"
+
+(** Parse statements until the matching [end do] / [enddo], consuming it. *)
+and parse_body st : fstmt list =
+  skip_newlines st;
+  match peek st with
+  | Kw "end" ->
+      advance st;
+      (match peek st with Kw "do" -> advance st | _ -> ());
+      []
+  | Kw "enddo" -> advance st; []
+  | _ when at_eof st -> fail "missing 'end do'"
+  | _ ->
+      let s = parse_stmt st in
+      s :: parse_body st
+
+(** Parse declarations then top-level statements until EOF. *)
+let parse (src : string) : string list * fstmt list =
+  let st = { toks = lex src } in
+  let arrays = ref [] in
+  let rec decls () =
+    skip_newlines st;
+    match peek st with
+    | Kw "real" | Kw "integer" ->
+        let is_array = peek st = Kw "real" in
+        advance st;
+        while (match peek st with Punct ':' -> true | _ -> false) do advance st done;
+        (match peek st with
+        | Ident name ->
+            advance st;
+            (match peek st with
+            | Punct '(' ->
+                let depth = ref 0 in
+                let continue_ = ref true in
+                while !continue_ do
+                  (match peek st with
+                  | Punct '(' -> incr depth
+                  | Punct ')' -> decr depth
+                  | Newline -> fail "unterminated dimension spec"
+                  | _ -> ());
+                  advance st;
+                  if !depth = 0 then continue_ := false
+                done
+            | _ -> ());
+            if is_array then arrays := !arrays @ [ name ]
+        | _ -> fail "expected identifier after type");
+        decls ()
+    | _ -> ()
+  in
+  decls ();
+  let rec top acc =
+    skip_newlines st;
+    if at_eof st then acc else top (acc @ [ parse_stmt st ])
+  in
+  (!arrays, top [])
+
+(** {1 Stencil extraction} *)
+
+(** Convert the expression at the heart of a loop nest, mapping loop
+    variables (given in (x, y, z) dimension order) to offsets. *)
+let rec extract_expr (dims : string list) (e : fexpr) : P.expr =
+  match e with
+  | Fnum f -> P.Const f
+  | Fneg e -> P.Sub (P.Const 0.0, extract_expr dims e)
+  | Fvar v -> fail "free scalar variable '%s' in stencil expression" v
+  | Fbin ('+', a, b) -> P.Add (extract_expr dims a, extract_expr dims b)
+  | Fbin ('-', a, b) -> P.Sub (extract_expr dims a, extract_expr dims b)
+  | Fbin ('*', a, b) -> P.Mul (extract_expr dims a, extract_expr dims b)
+  | Fbin ('/', a, b) -> P.Div (extract_expr dims a, extract_expr dims b)
+  | Fbin (c, _, _) -> fail "unsupported operator '%c'" c
+  | Fref (arr, indices) ->
+      let offset =
+        List.map
+          (fun d ->
+            match List.find_opt (fun ix -> ix.base = d) indices with
+            | Some ix -> ix.offset
+            | None -> fail "array %s not indexed by loop var %s" arr d)
+          dims
+      in
+      P.Access (arr, offset)
+
+(** Walk into a perfect nest and return loop vars (outer first) and the
+    single assignment inside. *)
+let rec unwrap_nest vars = function
+  | Do { var; body = [ (Do _ as inner) ]; _ } -> unwrap_nest (vars @ [ var ]) inner
+  | Do { var; body = [ (Assign _ as a) ]; _ } -> (vars @ [ var ], a)
+  | _ -> fail "expected a perfect loop nest with a single assignment"
+
+let extract ~(name : string) ~(extents : int * int * int)
+    ?(iterations : int option) ~(dsl_loc : int) (stmts : fstmt list) : P.t =
+  (* peel optional outer time loop: its body contains nests and swaps;
+     an explicit [iterations] overrides the source trip count (used to
+     re-size the experiment without editing the source) *)
+  let time_body, iterations =
+    match stmts with
+    | [ Do { body; lo; hi; _ } ]
+      when List.exists (function Swap _ -> true | _ -> false) body ->
+        let its =
+          match (iterations, int_of_string_opt lo, int_of_string_opt hi) with
+          | Some n, _, _ -> n
+          | None, Some l, Some h -> h - l + 1
+          | None, _, _ -> 1
+        in
+        (body, its)
+    | _ -> (stmts, Option.value iterations ~default:1)
+  in
+  let nests = List.filter_map (function Do _ as d -> Some d | _ -> None) time_body in
+  let swaps = List.filter_map (function Swap (a, b) -> Some (a, b) | _ -> None) time_body in
+  if nests = [] then fail "no loop nest found";
+  let kernels =
+    List.map
+      (fun nest ->
+        let vars, assign = unwrap_nest [] nest in
+        (* Fortran convention: do k / do j / do i — innermost is x *)
+        let dims =
+          match vars with
+          | [ vz; vy; vx ] -> [ vx; vy; vz ]
+          | _ -> fail "expected exactly 3 nested loops, got %d" (List.length vars)
+        in
+        match assign with
+        | Assign { array; indices; rhs } ->
+            List.iter
+              (fun d ->
+                if not (List.exists (fun ix -> ix.base = d) indices) then
+                  fail "assignment to %s not indexed by %s" array d)
+              dims;
+            { P.kname = array ^ "_kernel"; output = array; expr = extract_expr dims rhs }
+        | _ -> fail "nest body is not an assignment")
+      nests
+  in
+  let state, next_state =
+    match swaps with
+    | [] ->
+        let ins = P.kernel_inputs (List.hd kernels) in
+        (ins, [ (List.hd kernels).P.output ])
+    | _ -> (List.map fst swaps, List.map snd swaps)
+  in
+  if List.length state <> List.length next_state then
+    fail "swap structure does not match state";
+  let prog =
+    {
+      P.pname = name;
+      frontend = "flang";
+      extents;
+      halo = 1;
+      state;
+      kernels;
+      next_state;
+      iterations;
+      use_loop = true;
+      dsl_loc;
+    }
+  in
+  { prog with halo = max 1 (P.program_radius prog) }
+
+(** Front door: parse Fortran source and extract a stencil program.
+    [iterations], when given, overrides the source's timestep trip count. *)
+let compile ~(name : string) ~(extents : int * int * int) ?iterations
+    (src : string) : P.t =
+  let _arrays, stmts = parse src in
+  let dsl_loc =
+    List.length
+      (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' src))
+  in
+  extract ~name ~extents ?iterations ~dsl_loc stmts

@@ -1,0 +1,19 @@
+(** Mini-Flang frontend: parses a Fortran subset — perfectly nested [do]
+    loops over 3-D [real] arrays with constant-offset accesses, optionally
+    surrounded by a timestep loop with whole-array swaps — and extracts
+    stencil kernels, mirroring the stencil-extraction pass the paper's
+    prior work added to Flang. *)
+
+exception Frontend_error of string
+
+(** Parse Fortran source and extract a stencil program.  The array
+    extents are symbolic in the source ([nx]/[ny]/[nz]) and provided by
+    the caller; [iterations], when given, overrides the source's timestep
+    trip count.
+    @raise Frontend_error on unsupported or malformed input. *)
+val compile :
+  name:string ->
+  extents:int * int * int ->
+  ?iterations:int ->
+  string ->
+  Stencil_program.t

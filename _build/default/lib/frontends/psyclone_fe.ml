@@ -1,0 +1,112 @@
+(** Mini-PSyclone frontend.
+
+    PSyclone kernels declare metadata describing each field argument
+    (access mode and stencil shape) and the algorithm layer invokes a list
+    of kernels.  This module mirrors that structure: kernels carry explicit
+    argument metadata which is validated against the kernel body, and an
+    [invoke] lowers the kernel list to a {!Stencil_program.t} with one
+    [stencil.apply] per kernel — the structure the UVKBE benchmark needs
+    (two consecutive applies, four fields, two of them communicated). *)
+
+module P = Stencil_program
+
+exception Frontend_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Frontend_error s)) fmt
+
+type access = Gh_read | Gh_write
+
+type stencil_shape =
+  | Pointwise  (** only [0,0,0] accesses *)
+  | Cross of int  (** star stencil of the given depth *)
+
+type arg_meta = { field : string; access : access; shape : stencil_shape }
+
+type kernel = {
+  kname : string;
+  meta : arg_meta list;
+  body : P.expr;  (** point expression; must assign the single gh_write field *)
+}
+
+let kernel ~name ~meta ~body = { kname = name; meta; body }
+
+(** Validate a kernel body against its declared metadata: reads only from
+    gh_read fields within the declared stencil shape; no reads of the
+    output. *)
+let check_kernel (k : kernel) : unit =
+  let writes = List.filter (fun a -> a.access = Gh_write) k.meta in
+  let w =
+    match writes with
+    | [ w ] -> w
+    | _ -> fail "kernel %s: exactly one gh_write field required" k.kname
+  in
+  List.iter
+    (fun (g, off) ->
+      if g = w.field then fail "kernel %s: reads its gh_write field %s" k.kname g;
+      match List.find_opt (fun a -> a.field = g) k.meta with
+      | None -> fail "kernel %s: access to undeclared field %s" k.kname g
+      | Some { access = Gh_write; _ } ->
+          fail "kernel %s: field %s is declared gh_write but read" k.kname g
+      | Some { shape = Pointwise; _ } ->
+          if List.exists (fun o -> o <> 0) off then
+            fail "kernel %s: field %s is pointwise but accessed at an offset"
+              k.kname g
+      | Some { shape = Cross d; _ } ->
+          let nonzero = List.filter (fun o -> o <> 0) off in
+          if List.length nonzero > 1 then
+            fail "kernel %s: field %s access %s is not on the stencil cross"
+              k.kname g
+              (String.concat "," (List.map string_of_int off));
+          List.iter
+            (fun o ->
+              if abs o > d then
+                fail "kernel %s: field %s accessed beyond stencil depth %d"
+                  k.kname g d)
+            off)
+    (P.accesses k.body)
+
+let output_field (k : kernel) : string =
+  match List.find_opt (fun a -> a.access = Gh_write) k.meta with
+  | Some a -> a.field
+  | None -> fail "kernel %s: no gh_write field" k.kname
+
+(** [invoke] — the PSy layer: schedule kernels in order over the mesh.
+    [state] lists the persistent fields; [next_state] maps them to their
+    values after one step (defaults to identity, i.e. a single-shot
+    diagnostic computation). *)
+let invoke ~(name : string) ~(extents : int * int * int) ~(iterations : int)
+    ?(use_loop = true) ?state ?next_state ?(dsl_loc = 0) (kernels : kernel list) :
+    P.t =
+  List.iter check_kernel kernels;
+  let kouts = List.map output_field kernels in
+  let all_reads =
+    List.concat_map (fun k -> List.map fst (P.accesses k.body)) kernels
+  in
+  (* persistent fields default to: every field read before being produced *)
+  let default_state =
+    List.fold_left
+      (fun acc g -> if List.mem g acc || List.mem g kouts then acc else acc @ [ g ])
+      [] all_reads
+  in
+  let state = Option.value state ~default:default_state in
+  let next_state = Option.value next_state ~default:state in
+  let pkernels =
+    List.map
+      (fun k -> { P.kname = k.kname; output = output_field k; expr = k.body })
+      kernels
+  in
+  let prog =
+    {
+      P.pname = name;
+      frontend = "psyclone";
+      extents;
+      halo = 1;
+      state;
+      kernels = pkernels;
+      next_state;
+      iterations;
+      use_loop;
+      dsl_loc;
+    }
+  in
+  { prog with halo = max 1 (P.program_radius prog) }

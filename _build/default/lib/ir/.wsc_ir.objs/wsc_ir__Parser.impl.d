@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Buffer Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Format Ir List Printer Verifier

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Float Format Hashtbl Ir List Printf String

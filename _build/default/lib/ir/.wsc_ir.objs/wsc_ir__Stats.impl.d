@@ -1,0 +1,1 @@
+lib/ir/stats.ml: Hashtbl Ir List Option

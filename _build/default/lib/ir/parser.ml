@@ -1,0 +1,597 @@
+(** Parser for the generic textual form produced by {!Printer}.
+
+    Supports round-tripping every construct the printer emits; used by the
+    CLI (to accept stencil-dialect input files) and by the tests (to check
+    printer/parser round trips). *)
+
+open Ir
+
+exception Parse_error of string
+
+type token =
+  | Tid of string          (* bare identifier *)
+  | Tpercent of string     (* %name *)
+  | Tat of string          (* @symbol *)
+  | Tcaret of string       (* ^block *)
+  | Tstring of string
+  | Tint of int
+  | Tfloat of float
+  | Tpunct of string       (* ( ) { } [ ] < > , = : -> ! *)
+  | Teof
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let read_ident start =
+    let j = ref start in
+    while !j < n && is_ident_char s.[!j] do incr j done;
+    let id = String.sub s start (!j - start) in
+    i := !j;
+    id
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '%' then (incr i; emit (Tpercent (read_ident !i)))
+    else if c = '@' then (incr i; emit (Tat (read_ident !i)))
+    else if c = '^' then (incr i; emit (Tcaret (read_ident !i)))
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      while !i < n && s.[!i] <> '"' do
+        if s.[!i] = '\\' && !i + 1 < n then begin
+          (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | c -> Buffer.add_char buf c);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      if !i >= n then raise (Parse_error "unterminated string");
+      incr i;
+      emit (Tstring (Buffer.contents buf))
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit s.[!i] do incr i done;
+      let is_float =
+        !i < n && (s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E')
+        (* avoid consuming the 'x' of shapes like 4x8xf32 *)
+      in
+      if is_float && s.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do incr i done;
+        if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+          while !i < n && is_digit s.[!i] do incr i done
+        end;
+        emit (Tfloat (float_of_string (String.sub s start (!i - start))))
+      end
+      else if is_float then begin
+        (* exponent without dot *)
+        incr i;
+        if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+        while !i < n && is_digit s.[!i] do incr i done;
+        emit (Tfloat (float_of_string (String.sub s start (!i - start))))
+      end
+      else emit (Tint (int_of_string (String.sub s start (!i - start))))
+    end
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then begin
+      i := !i + 2;
+      emit (Tpunct "->")
+    end
+    else if is_ident_char c then emit (Tid (read_ident !i))
+    else begin
+      incr i;
+      emit (Tpunct (String.make 1 c))
+    end
+  done;
+  List.rev (Teof :: !toks)
+
+(** Parser state. *)
+type state = {
+  mutable toks : token list;
+  values : (string, value) Hashtbl.t;  (* %name -> value *)
+}
+
+let peek st = match st.toks with t :: _ -> t | [] -> Teof
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let token_str = function
+  | Tid s -> "id:" ^ s
+  | Tpercent s -> "%" ^ s
+  | Tat s -> "@" ^ s
+  | Tcaret s -> "^" ^ s
+  | Tstring s -> "\"" ^ s ^ "\""
+  | Tint i -> string_of_int i
+  | Tfloat f -> string_of_float f
+  | Tpunct s -> s
+  | Teof -> "<eof>"
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (token_str (peek st))))
+
+let expect st p =
+  match peek st with
+  | Tpunct q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" p)
+
+let accept st p =
+  match peek st with
+  | Tpunct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+(* Types -------------------------------------------------------------- *)
+
+(* Shape elements inside tensor<...> print as "4x8xf32"; the tokenizer
+   produces that as a single identifier, so split on 'x'. *)
+let rec parse_typ st : typ =
+  match peek st with
+  | Tpunct "!" ->
+      advance st;
+      parse_bang_typ st
+  | Tpunct "(" ->
+      (* function type: (t, t) -> (t) *)
+      advance st;
+      let ins = parse_typ_list_until st ")" in
+      expect st ")";
+      expect st "->";
+      expect st "(";
+      let outs = parse_typ_list_until st ")" in
+      expect st ")";
+      Function (ins, outs)
+  | Tid id ->
+      advance st;
+      parse_id_typ st id
+  | _ -> fail st "expected type"
+
+and parse_typ_list_until st closer =
+  if peek st = Tpunct closer then []
+  else begin
+    let t = parse_typ st in
+    if accept st "," then t :: parse_typ_list_until st closer else [ t ]
+  end
+
+and scalar_of_name = function
+  | "f16" -> Some F16
+  | "f32" -> Some F32
+  | "f64" -> Some F64
+  | "i1" -> Some I1
+  | "i16" -> Some I16
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "index" -> Some Index
+  | _ -> None
+
+and parse_id_typ st id =
+  match scalar_of_name id with
+  | Some t -> t
+  | None -> (
+      match id with
+      | "tensor" ->
+          expect st "<";
+          let shape, e = parse_shape_elem st in
+          expect st ">";
+          Tensor (shape, e)
+      | "memref" ->
+          expect st "<";
+          let shape, e = parse_shape_elem st in
+          expect st ">";
+          Memref (shape, e)
+      | _ -> fail st (Printf.sprintf "unknown type '%s'" id))
+
+(* parse "4x8xf32" possibly spread over tokens, or nested types after shape *)
+and parse_shape_elem st : int list * typ =
+  let dims = ref [] in
+  let rec go () =
+    match peek st with
+    | Tint d ->
+        advance st;
+        (* the tokenizer splits "4x8xf32" as Tint 4, Tid "x8xf32"? No:
+           '4' then 'x8xf32' as ident since 'x' is ident char.  Handle both. *)
+        dims := !dims @ [ d ];
+        (match peek st with
+        | Tid s when String.length s > 0 && s.[0] = 'x' ->
+            advance st;
+            parse_x_suffix st (String.sub s 1 (String.length s - 1))
+        | _ -> fail st "expected 'x' in shape")
+    | Tid s -> (
+        advance st;
+        match scalar_of_name s with
+        | Some t -> (!dims, t)
+        | None -> parse_mixed_shape_ident st s)
+    | Tpunct "!" ->
+        advance st;
+        (!dims, parse_bang_typ st)
+    | _ -> fail st "expected shape or element type"
+  and parse_x_suffix st rest =
+    if rest = "" then go ()
+    else parse_mixed_shape_ident st rest
+  and parse_mixed_shape_ident st s =
+    (* s like "8x16xf32", "f32", "8x" or "14xindex": consume leading
+       digit runs separated by 'x'; whatever remains (which may itself
+       contain 'x', e.g. "index") is the element type name *)
+    let n = String.length s in
+    let rec consume i =
+      if i >= n then go ()
+      else if s.[i] >= '0' && s.[i] <= '9' then begin
+        let j = ref i in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+        dims := !dims @ [ int_of_string (String.sub s i (!j - i)) ];
+        if !j < n then
+          if s.[!j] = 'x' then consume (!j + 1)
+          else fail st (Printf.sprintf "bad shape element '%s'" s)
+        else go ()
+      end
+      else begin
+        let rest = String.sub s i (n - i) in
+        match scalar_of_name rest with
+        | Some t -> (!dims, t)
+        | None -> fail st (Printf.sprintf "bad shape element '%s'" rest)
+      end
+    in
+    consume 0
+  in
+  go ()
+
+and parse_bang_typ st : typ =
+  match peek st with
+  | Tid id when id = "stencil.temp" || id = "stencil.field" -> (
+      advance st;
+      expect st "<";
+      let bounds = parse_bounds st in
+      let e = parse_typ st in
+      expect st ">";
+      match id with
+      | "stencil.temp" -> Temp (bounds, e)
+      | _ -> Field (bounds, e))
+  | Tid "csl.color" ->
+      advance st;
+      Color
+  | Tid "csl.ptr" -> (
+      advance st;
+      expect st "<";
+      let t = parse_typ st in
+      expect st ",";
+      match peek st with
+      | Tid "single" ->
+          advance st;
+          expect st ">";
+          Ptr (t, Ptr_single)
+      | Tid "many" ->
+          advance st;
+          expect st ">";
+          Ptr (t, Ptr_many)
+      | _ -> fail st "expected single|many")
+  | Tid "csl.dsd" -> (
+      advance st;
+      expect st "<";
+      match peek st with
+      | Tid k ->
+          advance st;
+          expect st ">";
+          let kind =
+            match k with
+            | "mem1d" -> Mem1d
+            | "mem4d" -> Mem4d
+            | "fabin" -> Fabin
+            | "fabout" -> Fabout
+            | _ -> fail st "bad dsd kind"
+          in
+          Dsd kind
+      | _ -> fail st "expected dsd kind")
+  | Tid "csl.struct" -> (
+      advance st;
+      expect st "<";
+      match peek st with
+      | Tid s ->
+          advance st;
+          expect st ">";
+          Struct s
+      | _ -> fail st "expected struct name")
+  | _ -> fail st "unknown ! type"
+
+(* bounds: [l,u]x[l,u]x... then elem type follows *)
+and parse_bounds st : (int * int) list =
+  let rec go acc =
+    if accept st "[" then begin
+      let lb = parse_int st in
+      expect st ",";
+      let ub = parse_int st in
+      expect st "]";
+      (* following is ident starting with x, e.g. "x" then next bound, or
+         'x' merged with following type name like "xf32" *)
+      match peek st with
+      | Tid s when String.length s >= 1 && s.[0] = 'x' ->
+          advance st;
+          let rest = String.sub s 1 (String.length s - 1) in
+          if rest = "" then go (acc @ [ (lb, ub) ])
+          else begin
+            (* rest is the element type name (scalar or compound like
+               "tensor"): push it back and end the bounds *)
+            st.toks <- Tid rest :: st.toks;
+            acc @ [ (lb, ub) ]
+          end
+      | _ -> acc @ [ (lb, ub) ]
+    end
+    else acc
+  in
+  go []
+
+and parse_int st =
+  match peek st with
+  | Tint i ->
+      advance st;
+      i
+  | _ -> fail st "expected integer"
+
+(* Attributes ---------------------------------------------------------- *)
+
+let rec parse_attr st : attr =
+  match peek st with
+  | Tid "unit" ->
+      advance st;
+      Unit_attr
+  | Tid "true" ->
+      advance st;
+      Bool_attr true
+  | Tid "false" ->
+      advance st;
+      Bool_attr false
+  | Tid "dense_i" ->
+      advance st;
+      expect st "[";
+      let rec ints acc =
+        match peek st with
+        | Tint i ->
+            advance st;
+            if accept st "," then ints (acc @ [ i ]) else acc @ [ i ]
+        | _ -> acc
+      in
+      let l = ints [] in
+      expect st "]";
+      Dense_ints l
+  | Tid "dense_f" ->
+      advance st;
+      expect st "[";
+      let rec floats acc =
+        match peek st with
+        | Tfloat f ->
+            advance st;
+            if accept st "," then floats (acc @ [ f ]) else acc @ [ f ]
+        | Tint i ->
+            advance st;
+            let f = float_of_int i in
+            if accept st "," then floats (acc @ [ f ]) else acc @ [ f ]
+        | _ -> acc
+      in
+      let l = floats [] in
+      expect st "]";
+      Dense_floats l
+  | Tint i ->
+      advance st;
+      Int_attr i
+  | Tfloat f ->
+      advance st;
+      Float_attr f
+  | Tstring s ->
+      advance st;
+      String_attr s
+  | Tat s ->
+      advance st;
+      Symbol_ref s
+  | Tpunct "[" ->
+      advance st;
+      let rec elts acc =
+        if peek st = Tpunct "]" then acc
+        else begin
+          let a = parse_attr st in
+          if accept st "," then elts (acc @ [ a ]) else acc @ [ a ]
+        end
+      in
+      let l = elts [] in
+      expect st "]";
+      Array_attr l
+  | Tpunct "{" ->
+      advance st;
+      let l = parse_attr_dict_body st in
+      expect st "}";
+      Dict_attr l
+  | Tpunct "!" | Tpunct "(" ->
+      Type_attr (parse_typ st)
+  | Tid id when scalar_of_name id <> None || id = "tensor" || id = "memref" ->
+      Type_attr (parse_typ st)
+  | _ -> fail st "expected attribute"
+
+and parse_attr_dict_body st : (string * attr) list =
+  let rec go acc =
+    match peek st with
+    | Tid k ->
+        advance st;
+        expect st "=";
+        let v = parse_attr st in
+        let acc = acc @ [ (k, v) ] in
+        if accept st "," then go acc else acc
+    | _ -> acc
+  in
+  go []
+
+(* Operations ---------------------------------------------------------- *)
+
+let lookup_value st name typ =
+  match Hashtbl.find_opt st.values name with
+  | Some v -> v
+  | None ->
+      let v = new_value typ in
+      Hashtbl.replace st.values name v;
+      v
+
+let rec parse_op st : op =
+  (* results *)
+  let result_names =
+    match peek st with
+    | Tpercent _ ->
+        let rec names acc =
+          match peek st with
+          | Tpercent n ->
+              advance st;
+              let acc = acc @ [ n ] in
+              if accept st "," then names acc else acc
+          | _ -> acc
+        in
+        let ns = names [] in
+        expect st "=";
+        ns
+    | _ -> []
+  in
+  let opname =
+    match peek st with
+    | Tstring s ->
+        advance st;
+        s
+    | _ -> fail st "expected op name string"
+  in
+  expect st "(";
+  let operand_names =
+    let rec names acc =
+      match peek st with
+      | Tpercent n ->
+          advance st;
+          let acc = acc @ [ n ] in
+          if accept st "," then names acc else acc
+      | _ -> acc
+    in
+    names []
+  in
+  expect st ")";
+  (* regions *)
+  let regions =
+    if accept st "(" then begin
+      let rec go acc =
+        if peek st = Tpunct "{" then begin
+          let r = parse_region st in
+          let acc = acc @ [ r ] in
+          if accept st "," then go acc else acc
+        end
+        else acc
+      in
+      let rs = go [] in
+      expect st ")";
+      rs
+    end
+    else []
+  in
+  (* attributes *)
+  let attrs =
+    if accept st "{" then begin
+      let l = parse_attr_dict_body st in
+      expect st "}";
+      l
+    end
+    else []
+  in
+  expect st ":";
+  expect st "(";
+  let in_types = parse_typ_list_until st ")" in
+  expect st ")";
+  expect st "->";
+  expect st "(";
+  let out_types = parse_typ_list_until st ")" in
+  expect st ")";
+  if List.length in_types <> List.length operand_names then
+    fail st (Printf.sprintf "op %s: %d operands but %d operand types" opname
+               (List.length operand_names) (List.length in_types));
+  if List.length out_types <> List.length result_names then
+    fail st (Printf.sprintf "op %s: %d results but %d result types" opname
+               (List.length result_names) (List.length out_types));
+  let operands = List.map2 (lookup_value st) operand_names in_types in
+  let op = create_op opname ~operands ~attrs ~regions ~results:out_types in
+  List.iter2
+    (fun name v -> Hashtbl.replace st.values name v)
+    result_names op.results;
+  op
+
+and parse_region st : region =
+  expect st "{";
+  let rec blocks acc =
+    if peek st = Tpunct "}" then acc
+    else begin
+      let b = parse_block st in
+      blocks (acc @ [ b ])
+    end
+  in
+  let bs = blocks [] in
+  expect st "}";
+  let bs = if bs = [] then [ new_block [] ] else bs in
+  new_region bs
+
+and parse_block st : block =
+  let args =
+    match peek st with
+    | Tcaret _ ->
+        advance st;
+        expect st "(";
+        let rec go acc =
+          match peek st with
+          | Tpercent n ->
+              advance st;
+              expect st ":";
+              let t = parse_typ st in
+              let v = new_value t in
+              Hashtbl.replace st.values n v;
+              let acc = acc @ [ v ] in
+              if accept st "," then go acc else acc
+          | _ -> acc
+        in
+        let args = go [] in
+        expect st ")";
+        expect st ":";
+        args
+    | _ -> []
+  in
+  let rec ops acc =
+    match peek st with
+    | Tpercent _ | Tstring _ ->
+        let o = parse_op st in
+        ops (acc @ [ o ])
+    | _ -> acc
+  in
+  new_block ~args (ops [])
+
+(** Parse a single top-level operation (usually a [builtin.module]). *)
+let parse_string (s : string) : op =
+  let st = { toks = tokenize s; values = Hashtbl.create 64 } in
+  let op = parse_op st in
+  (match peek st with
+  | Teof -> ()
+  | t -> raise (Parse_error ("trailing input: " ^ token_str t)));
+  op
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s

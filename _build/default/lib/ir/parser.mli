@@ -1,0 +1,11 @@
+(** Parser for the generic textual IR form produced by {!Printer}.
+    Accepts exactly the constructs the printer emits (plus [//] line
+    comments), so print/parse is a fixpoint after one round trip. *)
+
+exception Parse_error of string
+
+(** Parse a single top-level operation (usually a [builtin.module]).
+    @raise Parse_error on malformed input or trailing tokens. *)
+val parse_string : string -> Ir.op
+
+val parse_file : string -> Ir.op

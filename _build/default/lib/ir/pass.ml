@@ -1,0 +1,52 @@
+(** Pass manager.
+
+    A pass is a named transformation over a module op.  Pipelines compose
+    passes in order; options control verification after each pass and
+    IR dumping for debugging (the equivalent of
+    [--mlir-print-ir-after-all]). *)
+
+open Ir
+
+type t = { pass_name : string; run : op -> op }
+
+let make name run = { pass_name = name; run }
+
+(** In-place pass: mutates the module and returns it. *)
+let make_inplace name f =
+  make name (fun m ->
+      f m;
+      m)
+
+type options = {
+  verify_each : bool;  (** run the verifier after every pass *)
+  dump_each : bool;  (** print the IR after every pass *)
+  dump_channel : Format.formatter;
+}
+
+let default_options =
+  { verify_each = true; dump_each = false; dump_channel = Format.err_formatter }
+
+exception Pass_failed of string * exn
+
+(** Run [passes] over [m] in order. *)
+let run_pipeline ?(options = default_options) (passes : t list) (m : op) : op =
+  List.fold_left
+    (fun m pass ->
+      let m' =
+        try pass.run m
+        with
+        | Verifier.Verification_error _ as e -> raise (Pass_failed (pass.pass_name, e))
+        | Invalid_argument _ as e -> raise (Pass_failed (pass.pass_name, e))
+      in
+      if options.dump_each then begin
+        Format.fprintf options.dump_channel "// ----- IR after %s -----@." pass.pass_name;
+        Printer.print_op ~out:options.dump_channel m'
+      end;
+      if options.verify_each then begin
+        try Verifier.verify m'
+        with Verifier.Verification_error _ as e -> raise (Pass_failed (pass.pass_name, e))
+      end;
+      m')
+    m passes
+
+let pass_names passes = List.map (fun p -> p.pass_name) passes

@@ -1,0 +1,27 @@
+(** Pass manager: named transformations over a module op, composed into
+    pipelines with optional per-pass verification and IR dumping. *)
+
+type t = { pass_name : string; run : Ir.op -> Ir.op }
+
+(** [make name run] — a pass that may replace the module. *)
+val make : string -> (Ir.op -> Ir.op) -> t
+
+(** [make_inplace name f] — a pass that mutates the module in place. *)
+val make_inplace : string -> (Ir.op -> unit) -> t
+
+type options = {
+  verify_each : bool;  (** run the verifier after every pass *)
+  dump_each : bool;  (** print the IR after every pass *)
+  dump_channel : Format.formatter;
+}
+
+val default_options : options
+
+(** Raised when a pass (or the verifier after it) fails; carries the pass
+    name and the original exception. *)
+exception Pass_failed of string * exn
+
+(** Run [passes] over a module in order. *)
+val run_pipeline : ?options:options -> t list -> Ir.op -> Ir.op
+
+val pass_names : t list -> string list

@@ -1,0 +1,193 @@
+(** Textual printer for the generic IR form.
+
+    The syntax mirrors MLIR's generic operation form:
+    [%0, %1 = "dialect.op"(%a, %b) ({ ... }) {attr = v} : (t) -> (t)]
+    so that IR dumps read like the listings in the paper. *)
+
+open Ir
+
+let rec pp_typ fmt = function
+  | F16 -> Format.pp_print_string fmt "f16"
+  | F32 -> Format.pp_print_string fmt "f32"
+  | F64 -> Format.pp_print_string fmt "f64"
+  | I1 -> Format.pp_print_string fmt "i1"
+  | I16 -> Format.pp_print_string fmt "i16"
+  | I32 -> Format.pp_print_string fmt "i32"
+  | I64 -> Format.pp_print_string fmt "i64"
+  | Index -> Format.pp_print_string fmt "index"
+  | Tensor (shape, e) ->
+      Format.fprintf fmt "tensor<%a%a>" pp_shape shape pp_typ e
+  | Memref (shape, e) ->
+      Format.fprintf fmt "memref<%a%a>" pp_shape shape pp_typ e
+  | Temp (bounds, e) ->
+      Format.fprintf fmt "!stencil.temp<%a%a>" pp_bounds bounds pp_typ e
+  | Field (bounds, e) ->
+      Format.fprintf fmt "!stencil.field<%a%a>" pp_bounds bounds pp_typ e
+  | Function (ins, outs) ->
+      Format.fprintf fmt "(%a) -> (%a)" pp_typ_list ins pp_typ_list outs
+  | Ptr (t, Ptr_single) -> Format.fprintf fmt "!csl.ptr<%a, single>" pp_typ t
+  | Ptr (t, Ptr_many) -> Format.fprintf fmt "!csl.ptr<%a, many>" pp_typ t
+  | Dsd Mem1d -> Format.pp_print_string fmt "!csl.dsd<mem1d>"
+  | Dsd Mem4d -> Format.pp_print_string fmt "!csl.dsd<mem4d>"
+  | Dsd Fabin -> Format.pp_print_string fmt "!csl.dsd<fabin>"
+  | Dsd Fabout -> Format.pp_print_string fmt "!csl.dsd<fabout>"
+  | Color -> Format.pp_print_string fmt "!csl.color"
+  | Struct s -> Format.fprintf fmt "!csl.struct<%s>" s
+
+and pp_shape fmt shape =
+  List.iter (fun d -> Format.fprintf fmt "%dx" d) shape
+
+and pp_bounds fmt bounds =
+  List.iter (fun (lb, ub) -> Format.fprintf fmt "[%d,%d]x" lb ub) bounds
+
+and pp_typ_list fmt ts =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_typ fmt ts
+
+let typ_to_string t = Format.asprintf "%a" pp_typ t
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_float fmt f =
+  if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf fmt "%.6f" f
+  else Format.fprintf fmt "%.17g" f
+
+let rec pp_attr fmt = function
+  | Unit_attr -> Format.pp_print_string fmt "unit"
+  | Bool_attr b -> Format.pp_print_bool fmt b
+  | Int_attr i -> Format.pp_print_int fmt i
+  | Float_attr f -> pp_float fmt f
+  | String_attr s -> Format.fprintf fmt "\"%s\"" (escape_string s)
+  | Type_attr t -> pp_typ fmt t
+  | Array_attr l ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp_attr)
+        l
+  | Dict_attr l ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (fun fmt (k, v) -> Format.fprintf fmt "%s = %a" k pp_attr v))
+        l
+  | Dense_ints l ->
+      Format.fprintf fmt "dense_i[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Format.pp_print_int)
+        l
+  | Dense_floats l ->
+      Format.fprintf fmt "dense_f[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_float)
+        l
+  | Symbol_ref s -> Format.fprintf fmt "@%s" s
+
+(** Printing environment assigning stable names to values and blocks. *)
+type env = {
+  names : (int, string) Hashtbl.t;
+  mutable next : int;
+  block_names : (int, int) Hashtbl.t;
+  mutable next_block : int;
+}
+
+let new_env () =
+  { names = Hashtbl.create 64; next = 0; block_names = Hashtbl.create 16; next_block = 0 }
+
+let block_label env (b : Ir.block) =
+  match Hashtbl.find_opt env.block_names b.Ir.bid with
+  | Some n -> n
+  | None ->
+      let n = env.next_block in
+      env.next_block <- n + 1;
+      Hashtbl.replace env.block_names b.Ir.bid n;
+      n
+
+let value_name env v =
+  match Hashtbl.find_opt env.names v.vid with
+  | Some n -> n
+  | None ->
+      let base =
+        match v.vhint with
+        | Some h when h <> "" -> Printf.sprintf "%%%s_%d" h env.next
+        | _ -> Printf.sprintf "%%%d" env.next
+      in
+      env.next <- env.next + 1;
+      Hashtbl.replace env.names v.vid base;
+      base
+
+let pp_values env fmt vs =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    (fun fmt v -> Format.pp_print_string fmt (value_name env v))
+    fmt vs
+
+let rec pp_op env indent fmt op =
+  let pad = String.make indent ' ' in
+  Format.fprintf fmt "%s" pad;
+  (if op.results <> [] then
+     Format.fprintf fmt "%a = " (pp_values env) op.results);
+  Format.fprintf fmt "\"%s\"(%a)" op.opname (pp_values env) op.operands;
+  if op.regions <> [] then begin
+    Format.fprintf fmt " (";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_region env indent fmt r)
+      op.regions;
+    Format.fprintf fmt ")"
+  end;
+  if op.attrs <> [] then begin
+    let attrs = List.sort (fun (a, _) (b, _) -> compare a b) op.attrs in
+    Format.fprintf fmt " {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt (k, v) -> Format.fprintf fmt "%s = %a" k pp_attr v))
+      attrs
+  end;
+  Format.fprintf fmt " : (%a) -> (%a)" pp_typ_list
+    (List.map (fun v -> v.vtyp) op.operands)
+    pp_typ_list
+    (List.map (fun v -> v.vtyp) op.results)
+
+and pp_region env indent fmt r =
+  Format.fprintf fmt "{\n";
+  List.iter (pp_block env (indent + 2) fmt) r.blocks;
+  Format.fprintf fmt "%s}" (String.make indent ' ')
+
+and pp_block env indent fmt b =
+  let pad = String.make indent ' ' in
+  if b.bargs <> [] then begin
+    Format.fprintf fmt "%s^bb%d(" pad (block_label env b);
+    List.iteri
+      (fun i a ->
+        if i > 0 then Format.fprintf fmt ", ";
+        Format.fprintf fmt "%s : %a" (value_name env a) pp_typ a.vtyp)
+      b.bargs;
+    Format.fprintf fmt "):\n"
+  end;
+  List.iter
+    (fun o ->
+      pp_op env indent fmt o;
+      Format.fprintf fmt "\n")
+    b.bops
+
+let op_to_string op =
+  let env = new_env () in
+  Format.asprintf "%a" (pp_op env 0) op
+
+let print_op ?(out = Format.std_formatter) op =
+  let env = new_env () in
+  pp_op env 0 out op;
+  Format.fprintf out "\n%!"

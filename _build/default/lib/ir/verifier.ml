@@ -1,0 +1,97 @@
+(** IR verifier.
+
+    Structural checks common to all ops (SSA dominance within a block,
+    terminator presence for region-carrying ops that declare one) plus a
+    registry of per-op verifiers that dialects populate. *)
+
+open Ir
+
+exception Verification_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Verification_error s)) fmt
+
+(** Per-op verifiers, keyed by op name.  A dialect registers invariants for
+    its ops; unknown ops only get the structural checks. *)
+let registry : (string, op -> unit) Hashtbl.t = Hashtbl.create 64
+
+let register name f = Hashtbl.replace registry name f
+
+(** Ops whose single-block regions must end in the given terminator. *)
+let terminator_registry : (string, string list) Hashtbl.t = Hashtbl.create 64
+
+let register_terminator opname terminators =
+  Hashtbl.replace terminator_registry opname terminators
+
+(** Verify SSA: every operand of every op must be defined earlier in the
+    same block, be a block argument of an enclosing block, or be defined by
+    an op in an enclosing scope (regions may capture outer values). *)
+let verify_ssa (root : op) : unit =
+  let defined : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let define v = Hashtbl.replace defined v.vid () in
+  let rec go_op op =
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem defined v.vid) then
+          fail "op %s: operand %%%d used before definition" op.opname v.vid)
+      op.operands;
+    (* results defined after operand check *)
+    List.iter define op.results;
+    List.iter
+      (fun r ->
+        List.iter
+          (fun b ->
+            List.iter define b.bargs;
+            List.iter go_op b.bops)
+          r.blocks)
+      op.regions
+  in
+  List.iter define root.results;
+  (* allow the root op's own operands to be free (e.g. function arguments
+     bound externally); normally the root is a module with none *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          List.iter define b.bargs;
+          List.iter go_op b.bops)
+        r.blocks)
+    root.regions
+
+let verify_terminators (root : op) : unit =
+  walk_op
+    (fun op ->
+      match Hashtbl.find_opt terminator_registry op.opname with
+      | None -> ()
+      | Some terms ->
+          List.iter
+            (fun r ->
+              List.iter
+                (fun b ->
+                  match Ir.terminator b with
+                  | Some t when List.mem t.opname terms -> ()
+                  | Some t ->
+                      fail "op %s: region block ends in %s, expected one of [%s]"
+                        op.opname t.opname (String.concat "; " terms)
+                  | None ->
+                      fail "op %s: region block has no terminator (expected one of [%s])"
+                        op.opname (String.concat "; " terms))
+                r.blocks)
+            op.regions)
+    root
+
+let verify_registered (root : op) : unit =
+  walk_op
+    (fun op ->
+      match Hashtbl.find_opt registry op.opname with
+      | Some f -> f op
+      | None -> ())
+    root
+
+(** Run all checks; raises {!Verification_error} on the first failure. *)
+let verify (root : op) : unit =
+  verify_ssa root;
+  verify_terminators root;
+  verify_registered root
+
+let verify_result (root : op) : (unit, string) result =
+  match verify root with () -> Ok () | exception Verification_error e -> Error e

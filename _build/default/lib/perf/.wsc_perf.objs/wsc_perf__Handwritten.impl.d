@@ -1,0 +1,1 @@
+lib/perf/handwritten.ml: Wsc_benchmarks Wsc_wse Wse_perf

@@ -1,0 +1,1 @@
+lib/perf/handwritten.mli: Wsc_benchmarks Wsc_wse Wse_perf

@@ -1,0 +1,1 @@
+lib/perf/roofline.ml: Cluster Float Format Wsc_wse Wse_perf

@@ -1,0 +1,1 @@
+lib/perf/wse_perf.ml: Format List Wsc_benchmarks Wsc_core Wsc_dialects Wsc_frontends Wsc_ir Wsc_wse

@@ -1,0 +1,1 @@
+lib/perf/wse_perf.mli: Format Wsc_benchmarks Wsc_core Wsc_wse

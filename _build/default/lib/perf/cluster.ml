@@ -1,0 +1,97 @@
+(** Performance models of the GPU and CPU cluster baselines (Figure 6).
+
+    The paper compares the WSE3 running Devito's acoustic kernel against
+    the strong-scaling results of Bisbas et al. (IPDPS'25): MPI + OpenACC
+    on 128 Nvidia A100s (Tursa) and MPI + OpenMP on 128 dual-EPYC-7742
+    nodes (ARCHER2).  Stencil kernels on those machines are memory-bound,
+    so each device is modelled by its sustained memory bandwidth over the
+    kernel's bytes-per-point, degraded by a halo-exchange term from the
+    strong-scaling decomposition — the two effects that set the published
+    throughputs. *)
+
+type device = {
+  dev_name : string;
+  mem_bw_bytes : float;  (** peak memory bandwidth per device *)
+  bw_efficiency : float;  (** sustained fraction achieved by stencils *)
+  peak_flops : float;  (** f32 peak per device *)
+  interconnect_bytes : float;  (** node injection bandwidth *)
+  bytes_per_point : float;
+      (** memory traffic per acoustic grid point: calibrated against the
+          published throughputs of Bisbas et al. — OpenACC on the A100
+          streams the 13-point neighbourhood with poor reuse (the paper
+          itself notes the GPU baseline does not exercise full potential),
+          while the EPYC nodes' 256 MB of L3 capture most reuse *)
+}
+
+(** Nvidia A100-80GB (Tursa): 2.0 TB/s HBM2e, ~70% sustained on stencil
+    streams; 4 × 200 Gb/s IB per node shared by 4 GPUs. *)
+let a100 =
+  {
+    dev_name = "A100";
+    mem_bw_bytes = 2.0e12;
+    bw_efficiency = 0.55;
+    peak_flops = 19.5e12;
+    interconnect_bytes = 25.0e9;
+    bytes_per_point = 95.0;
+  }
+
+(** ARCHER2 node: 2 × AMD EPYC 7742, 8 DDR4-3200 channels per socket
+    (~409 GB/s/node), ~65% sustained; Slingshot 100 Gb/s injection. *)
+let archer2_node =
+  {
+    dev_name = "ARCHER2-node";
+    mem_bw_bytes = 409.6e9;
+    bw_efficiency = 0.65;
+    peak_flops = 4.7e12;
+    interconnect_bytes = 12.5e9;
+    bytes_per_point = 33.0;
+  }
+
+type cluster_measurement = {
+  cm_name : string;
+  devices : int;
+  grid_points : float;
+  gpts_per_s : float;
+  time_per_iter_s : float;
+  flops_per_s : float;
+  memory_bound : bool;
+  ai : float;  (** arithmetic intensity, FLOPs per byte of memory traffic *)
+}
+
+let acoustic_flops_per_point = 18.0
+
+(** Strong-scaling throughput of [devices] devices on an [n]^3 grid. *)
+let acoustic_throughput (dev : device) ~(devices : int) ~(n : int) :
+    cluster_measurement =
+  let points = float_of_int n ** 3.0 in
+  let points_per_dev = points /. float_of_int devices in
+  (* memory-bound time per iteration per device *)
+  let bw = dev.mem_bw_bytes *. dev.bw_efficiency in
+  let t_mem = points_per_dev *. dev.bytes_per_point /. bw in
+  let t_compute = points_per_dev *. acoustic_flops_per_point /. dev.peak_flops in
+  (* halo exchange: 3-D decomposition, 6 faces of depth 2 (space order 4),
+     f32; latency-inclusive *)
+  let side = (points_per_dev ** (1.0 /. 3.0)) +. 1.0 in
+  let halo_bytes = 6.0 *. 2.0 *. side *. side *. 4.0 in
+  let t_halo = (halo_bytes /. dev.interconnect_bytes) +. 20.0e-6 in
+  let t_iter = Float.max t_mem t_compute +. t_halo in
+  let gpts = points /. t_iter /. 1e9 in
+  {
+    cm_name = Printf.sprintf "%dx %s" devices dev.dev_name;
+    devices;
+    grid_points = points;
+    gpts_per_s = gpts;
+    time_per_iter_s = t_iter;
+    flops_per_s = points /. t_iter *. acoustic_flops_per_point;
+    memory_bound = t_mem > t_compute;
+    ai = acoustic_flops_per_point /. dev.bytes_per_point;
+  }
+
+(** The two baselines exactly as in Figure 6: 1158^3 on the GPUs,
+    1024^3 on the CPU nodes (the paper notes the larger grids favour the
+    clusters by lowering their communication share). *)
+let tursa_128_a100 () = acoustic_throughput a100 ~devices:128 ~n:1158
+let archer2_128_nodes () = acoustic_throughput archer2_node ~devices:128 ~n:1024
+
+(** Single A100 point for the roofline plot (Figure 7). *)
+let single_a100 () = acoustic_throughput a100 ~devices:1 ~n:512

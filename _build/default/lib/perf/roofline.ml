@@ -1,0 +1,86 @@
+(** Roofline model (Figure 7).
+
+    A kernel is plotted at (arithmetic intensity, performance); the
+    machine bounds it by min(peak, AI × bandwidth).  Following the paper,
+    each WSE benchmark contributes two points: one with all data accesses
+    priced against local SRAM bandwidth and one against the fabric, since
+    on the WSE local memory is faster than the interconnect.  All inputs
+    are measured on the simulator (FLOPs, SRAM traffic and fabric traffic
+    of the actually-compiled program). *)
+
+module Machine = Wsc_wse.Machine
+
+type point = {
+  label : string;
+  ai : float;  (** FLOPs per byte *)
+  gflops : float;  (** achieved performance, total over the machine *)
+  bound : [ `Compute | `Memory ];
+}
+
+type roof = {
+  machine_name : string;
+  peak_gflops : float;
+  mem_bw_gbytes : float;  (** aggregate *)
+  fabric_bw_gbytes : float;
+}
+
+let wse_roof (m : Machine.t) ~(pes : int) : roof =
+  {
+    machine_name = m.name;
+    peak_gflops = float_of_int pes *. m.flops_per_pe_per_cycle *. m.clock_hz /. 1e9;
+    mem_bw_gbytes = float_of_int pes *. Machine.mem_bandwidth_per_pe m /. 1e9;
+    fabric_bw_gbytes = float_of_int pes *. Machine.ramp_bandwidth_per_pe m /. 1e9;
+  }
+
+(** Attainable performance at intensity [ai] under bandwidth [bw]. *)
+let attainable (roof : roof) ~(bw_gbytes : float) (ai : float) : float =
+  Float.min roof.peak_gflops (ai *. bw_gbytes)
+
+let classify (roof : roof) ~(bw_gbytes : float) (ai : float) : [ `Compute | `Memory ] =
+  if ai *. bw_gbytes >= roof.peak_gflops then `Compute else `Memory
+
+(** The two roofline points of one WSE measurement. *)
+let points_of_measurement (roof : roof) (m : Wse_perf.measurement) : point list =
+  let achieved_gflops = m.tflops *. 1e3 in
+  let ai_mem = m.flops_per_pt /. m.mem_bytes_per_pt in
+  let ai_fabric =
+    if m.fabric_bytes_per_pt > 0.0 then m.flops_per_pt /. m.fabric_bytes_per_pt
+    else infinity
+  in
+  [
+    {
+      label = m.bench ^ " (memory)";
+      ai = ai_mem;
+      gflops = achieved_gflops;
+      bound = classify roof ~bw_gbytes:roof.mem_bw_gbytes ai_mem;
+    };
+    {
+      label = m.bench ^ " (fabric)";
+      ai = ai_fabric;
+      gflops = achieved_gflops;
+      bound = classify roof ~bw_gbytes:roof.fabric_bw_gbytes ai_fabric;
+    };
+  ]
+
+(** The A100 acoustic point from the cluster model. *)
+let a100_point () : point =
+  let cm = Cluster.single_a100 () in
+  {
+    label = "acoustic (A100)";
+    ai = cm.Cluster.ai;
+    gflops = cm.Cluster.flops_per_s /. 1e9;
+    bound = (if cm.Cluster.memory_bound then `Memory else `Compute);
+  }
+
+let a100_roof : roof =
+  {
+    machine_name = "A100";
+    peak_gflops = Cluster.a100.Cluster.peak_flops /. 1e9;
+    mem_bw_gbytes = Cluster.a100.Cluster.mem_bw_bytes /. 1e9;
+    fabric_bw_gbytes = Cluster.a100.Cluster.interconnect_bytes /. 1e9;
+  }
+
+let pp_point fmt (p : point) =
+  Format.fprintf fmt "%-22s AI=%8.2f FLOP/B  %12.1f GFLOP/s  %s" p.label p.ai
+    p.gflops
+    (match p.bound with `Compute -> "compute-bound" | `Memory -> "memory-bound")

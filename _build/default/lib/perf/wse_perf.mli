@@ -1,0 +1,37 @@
+(** WSE performance measurement: run the actually-compiled program on the
+    fabric simulator on a small proxy grid for two iteration counts, take
+    the steady-state per-iteration cycles, and extrapolate to the
+    requested PE grid (valid because the program is SPMD with
+    bounded-radius neighbour communication). *)
+
+module B = Wsc_benchmarks.Benchmarks
+module Machine = Wsc_wse.Machine
+
+type measurement = {
+  bench : string;
+  machine : string;
+  size : B.size;
+  nx : int;
+  ny : int;
+  nz : int;
+  iterations : int;
+  cycles_per_iter : float;  (** steady-state, slowest PE *)
+  time_to_solution_s : float;
+  gpts_per_s : float;  (** the paper's GPts/s a.k.a. GCells/s *)
+  tflops : float;
+  pct_of_peak : float;
+  flops_per_pt : float;  (** measured on the simulator *)
+  mem_bytes_per_pt : float;  (** SRAM traffic of the DSD builtins *)
+  fabric_bytes_per_pt : float;  (** injected wavelet payload *)
+  tasks_per_pe_per_iter : float;
+  chunks : int;  (** communication chunks the compiler chose *)
+}
+
+(** Extent of the square proxy grid the measurement simulates. *)
+val proxy_extent : int
+
+val measure :
+  ?pipeline_options:Wsc_core.Pipeline.options ->
+  machine:Machine.t -> size:B.size -> B.descr -> measurement
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,1 @@
+lib/wse/fabric.ml: Array Float Hashtbl List Machine Option Printf String Wsc_core Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/wse/fabric.mli: Hashtbl Machine Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+lib/wse/host.ml: Array Fabric Hashtbl List Machine Printf Wsc_core Wsc_dialects Wsc_ir

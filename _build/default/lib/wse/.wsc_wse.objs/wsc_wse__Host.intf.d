@@ -1,0 +1,1 @@
+lib/wse/host.mli: Fabric Machine Wsc_dialects Wsc_ir

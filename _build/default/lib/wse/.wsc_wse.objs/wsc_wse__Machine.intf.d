@@ -1,0 +1,1 @@
+lib/wse/machine.mli:

@@ -1,0 +1,775 @@
+(** Fabric simulator: executes a compiled csl program on a simulated grid
+    of PEs.
+
+    Each PE holds its own buffers, scalars and pointer globals, executes
+    tasks one at a time (single-threaded, as on the hardware), and counts
+    cycles according to the {!Machine} model.  The runtime communication
+    library (paper §5.6) is implemented natively here: [communicate]
+    registers an asynchronous neighbour exchange — the sender pushes its
+    column slices in chunks in all needed directions, receivers reduce or
+    stage incoming chunks (applying promoted coefficients at delivery,
+    §5.7) and activate the chunk callback per chunk and the done callback
+    once all chunks from all neighbours have arrived, continuing the
+    control-flow task graph.
+
+    Scheduling is dependency-driven: a PE advances until it waits on
+    senders that have not yet reached their matching [communicate]; the
+    driver loop repeatedly picks PEs that can progress.  Local clocks
+    advance by op costs; message arrival times combine the sender's chunk
+    injection completion with per-hop router latency.  On the WSE2 every
+    injection is doubled by the self-send switch workaround (§6). *)
+
+open Wsc_ir.Ir
+module Csl = Wsc_core.Csl
+module Bufview = Wsc_core.Bufview
+module Dmp = Wsc_dialects.Dmp
+
+exception Sim_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+(** {1 Communicate-call configuration (parsed from the config attr)} *)
+
+type input_cfg = {
+  send_ptr : string;
+  swaps : Dmp.swap_desc list;
+  rcv_bufs : (Dmp.direction * string) list;
+}
+
+type comm_cfg = {
+  apply_id : int;
+  inputs : input_cfg list;
+  coeffs : (int * int * int * float) list;
+  z_base : int;
+  c_nz : int;
+  num_chunks : int;
+  chunk_size : int;
+  chunk_cb : string;
+  done_cb : string;
+}
+
+let parse_comm_cfg (a : attr) : comm_cfg =
+  let dict = match a with Dict_attr d -> d | _ -> fail "communicate: bad config" in
+  let geti k =
+    match List.assoc_opt k dict with Some (Int_attr i) -> i | _ -> fail "cfg int %s" k
+  in
+  let gets k =
+    match List.assoc_opt k dict with
+    | Some (String_attr s) -> s
+    | _ -> fail "cfg string %s" k
+  in
+  let inputs =
+    match List.assoc_opt "inputs" dict with
+    | Some (Array_attr l) ->
+        List.map
+          (function
+            | Dict_attr d ->
+                let send_ptr =
+                  match List.assoc_opt "send_ptr" d with
+                  | Some (String_attr s) -> s
+                  | _ -> fail "cfg send_ptr"
+                in
+                let swaps =
+                  match List.assoc_opt "swaps" d with
+                  | Some a -> Dmp.swaps_of_attr a
+                  | None -> fail "cfg swaps"
+                in
+                let rcv_bufs =
+                  match List.assoc_opt "rcv_bufs" d with
+                  | Some (Array_attr bl) ->
+                      List.map2
+                        (fun (sw : Dmp.swap_desc) b ->
+                          match b with
+                          | String_attr s -> (sw.dir, s)
+                          | _ -> fail "cfg rcv buf")
+                        swaps bl
+                  | _ -> fail "cfg rcv_bufs"
+                in
+                { send_ptr; swaps; rcv_bufs }
+            | _ -> fail "cfg input")
+          l
+    | _ -> fail "cfg inputs"
+  in
+  let coeffs =
+    match List.assoc_opt "coeffs" dict with
+    | Some (Array_attr l) ->
+        List.map
+          (function
+            | Dict_attr d ->
+                let gi k = match List.assoc_opt k d with Some (Int_attr i) -> i | _ -> 0 in
+                let gf k =
+                  match List.assoc_opt k d with
+                  | Some (Float_attr f) -> f
+                  | Some (Int_attr i) -> float_of_int i
+                  | _ -> 0.0
+                in
+                (gi "i", gi "dx", gi "dy", gf "c")
+            | _ -> fail "cfg coeff")
+          l
+    | _ -> []
+  in
+  {
+    apply_id = geti "apply_id";
+    inputs;
+    coeffs;
+    z_base = geti "z_base";
+    c_nz = geti "nz";
+    num_chunks = geti "num_chunks";
+    chunk_size = geti "chunk_size";
+    chunk_cb = gets "chunk_cb";
+    done_cb = gets "done_cb";
+  }
+
+(** {1 PE state} *)
+
+type pe_stats = {
+  mutable compute_cycles : float;
+  mutable send_cycles : float;
+  mutable wait_cycles : float;
+  mutable task_activations : int;
+  mutable flops : float;
+  mutable elems_sent : int;
+  mutable elems_drained : int;  (** wavelets received over the ramp *)
+  mutable mem_bytes : float;  (** local SRAM traffic of the DSD builtins *)
+}
+
+type send_record = {
+  sr_chunk_ready : float array;  (** completion time of each chunk injection *)
+  sr_data : float array list;  (** snapshot of the sent z-range, per input *)
+}
+
+type waiting = {
+  w_cfg : comm_cfg;
+  w_seq : int;
+  w_registered_at : float;
+}
+
+type pe = {
+  px : int;
+  py : int;
+  globals : (string, float array) Hashtbl.t;
+  scalars : (string, int ref) Hashtbl.t;
+  ptrs : (string, string ref) Hashtbl.t;
+  mutable clock : float;
+  mutable finished : bool;
+  mutable task_queue : (float * string) list;  (** activation time, task name *)
+  mutable waiting : waiting option;
+  mutable seq : (int, int) Hashtbl.t;  (** apply_id -> communicate count *)
+  stats : pe_stats;
+}
+
+(** {1 Simulator} *)
+
+type t = {
+  machine : Machine.t;
+  program : op;
+  width : int;
+  height : int;
+  pes : pe array array;
+  funcs : (string, op) Hashtbl.t;
+  tasks : (string, op) Hashtbl.t;
+  sends : (int * int * int * int, send_record) Hashtbl.t;
+      (** (apply, seq, x, y) -> record *)
+  halo : (int * int, float array) Hashtbl.t;
+      (** host-resident boundary columns (x, y outside the PE grid) *)
+  z_halo : int;
+  zfull : int;
+  nz : int;
+}
+
+let new_pe (program : op) x y : pe =
+  let globals = Hashtbl.create 16 in
+  let scalars = Hashtbl.create 4 in
+  let ptrs = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      match o.opname with
+      | "csl.global_buffer" ->
+          let name = string_attr_exn o "sym_name" in
+          let size =
+            match attr_exn o "type" with
+            | Type_attr t -> num_elements t
+            | _ -> fail "bad buffer type"
+          in
+          Hashtbl.replace globals name (Array.make size 0.0)
+      | "csl.global_scalar" ->
+          let name = string_attr_exn o "sym_name" in
+          let init = match attr o "init" with Some (Int_attr i) -> i | _ -> 0 in
+          Hashtbl.replace scalars name (ref init)
+      | "csl.ptr_global" ->
+          Hashtbl.replace ptrs (string_attr_exn o "sym_name")
+            (ref (string_attr_exn o "target"))
+      | _ -> ())
+    (Csl.module_body program);
+  {
+    px = x;
+    py = y;
+    globals;
+    scalars;
+    ptrs;
+    clock = 0.0;
+    finished = false;
+    task_queue = [];
+    waiting = None;
+    seq = Hashtbl.create 4;
+    stats =
+      {
+        compute_cycles = 0.0;
+        send_cycles = 0.0;
+        wait_cycles = 0.0;
+        task_activations = 0;
+        flops = 0.0;
+        elems_sent = 0;
+        elems_drained = 0;
+        mem_bytes = 0.0;
+      };
+  }
+
+(** Largest PE grid the simulator will instantiate in one process.  Full
+    wafers are measured through the proxy-grid extrapolation in
+    [Wsc_perf.Wse_perf] instead of being simulated whole. *)
+let max_simulated_pes = 64 * 1024
+
+let create (machine : Machine.t) (program : op) : t =
+  let width = int_attr_exn program "width" in
+  let height = int_attr_exn program "height" in
+  if width > machine.max_width || height > machine.max_height then
+    fail "PE grid %dx%d exceeds %s fabric %dx%d" width height machine.name
+      machine.max_width machine.max_height;
+  if width * height > max_simulated_pes then
+    fail
+      "PE grid %dx%d is too large to simulate in-process (max %d PEs); use a \
+       proxy grid and the perf harness for full-wafer measurements"
+      width height max_simulated_pes;
+  let mem = int_attr_exn program "memory_bytes" in
+  if mem > machine.pe_memory_bytes then
+    fail "program needs %d bytes per PE; %s provides %d" mem machine.name
+      machine.pe_memory_bytes;
+  let funcs = Hashtbl.create 16 and tasks = Hashtbl.create 4 in
+  List.iter
+    (fun o ->
+      match o.opname with
+      | "csl.func" -> Hashtbl.replace funcs (string_attr_exn o "sym_name") o
+      | "csl.task" -> Hashtbl.replace tasks (string_attr_exn o "sym_name") o
+      | _ -> ())
+    (Csl.module_body program);
+  {
+    machine;
+    program;
+    width;
+    height;
+    pes = Array.init width (fun x -> Array.init height (fun y -> new_pe program x y));
+    funcs;
+    tasks;
+    sends = Hashtbl.create 1024;
+    halo = Hashtbl.create 64;
+    z_halo = int_attr_exn program "z_halo";
+    zfull = int_attr_exn program "zfull";
+    nz = int_attr_exn program "nz";
+  }
+
+(** {1 csl-op execution on one PE} *)
+
+type cell = Cbuf of Bufview.t | Cdsd of Bufview.t | Cint of int | Cfloat of float
+
+let buffer_of (pe : pe) name : float array =
+  match Hashtbl.find_opt pe.globals name with
+  | Some a -> a
+  | None -> fail "PE(%d,%d): no buffer %s" pe.px pe.py name
+
+let deref (pe : pe) ptr : float array =
+  match Hashtbl.find_opt pe.ptrs ptr with
+  | Some target -> buffer_of pe !target
+  | None -> fail "PE(%d,%d): no pointer %s" pe.px pe.py ptr
+
+(** Execute a function/task body; accumulates cycle cost on the PE.
+    Returns the communicate configs encountered (registered by caller). *)
+let rec exec_block (sim : t) (pe : pe) (env : (int, cell) Hashtbl.t) (blk : block) :
+    comm_cfg list =
+  let m = sim.machine in
+  let lookup v =
+    match Hashtbl.find_opt env v.vid with
+    | Some c -> c
+    | None -> fail "exec: unbound value %%%d" v.vid
+  in
+  let as_view v =
+    match lookup v with
+    | Cdsd b | Cbuf b -> b
+    | _ -> fail "exec: expected DSD/buffer"
+  in
+  let as_int v =
+    match lookup v with Cint i -> i | _ -> fail "exec: expected int"
+  in
+  let as_float v =
+    match lookup v with
+    | Cfloat f -> f
+    | Cint i -> float_of_int i
+    | _ -> fail "exec: expected float"
+  in
+  let cost c = pe.clock <- pe.clock +. c in
+  let builtin_cost ?(bytes_per_elem = 12.0) len =
+    cost (float_of_int m.dsd_overhead_cycles +. (float_of_int len /. m.dsd_elems_per_cycle));
+    pe.stats.compute_cycles <-
+      pe.stats.compute_cycles +. float_of_int m.dsd_overhead_cycles
+      +. (float_of_int len /. m.dsd_elems_per_cycle);
+    (* two operand reads + one destination write of 4 bytes per element
+       for the arithmetic builtins; a move reads one and writes one *)
+    pe.stats.mem_bytes <- pe.stats.mem_bytes +. (bytes_per_elem *. float_of_int len)
+  in
+  let comms = ref [] in
+  List.iter
+    (fun o ->
+      match o.opname with
+      | "csl.get_global" ->
+          cost 1.0;
+          Hashtbl.replace env (result o).vid
+            (Cbuf (Bufview.of_array (buffer_of pe (string_attr_exn o "gname"))))
+      | "csl.deref_ptr" ->
+          cost 1.0;
+          Hashtbl.replace env (result o).vid
+            (Cbuf (Bufview.of_array (deref pe (string_attr_exn o "gname"))))
+      | "csl.load_scalar" ->
+          cost 1.0;
+          Hashtbl.replace env (result o).vid
+            (Cint !(Hashtbl.find pe.scalars (string_attr_exn o "gname")))
+      | "csl.store_scalar" ->
+          cost 1.0;
+          Hashtbl.find pe.scalars (string_attr_exn o "gname") := as_int (operand o 0)
+      | "csl.get_mem_dsd" ->
+          cost 2.0;
+          let b = as_view (operand o 0) in
+          let off = int_attr_exn o "offset" and len = int_attr_exn o "length" in
+          let stride =
+            match int_attr o "stride" with Some s -> s | None -> 1
+          in
+          Hashtbl.replace env (result o).vid
+            (Cdsd (Bufview.make b.Bufview.data ~off:(b.Bufview.off + off) ~len ~stride ()))
+      | "csl.increment_dsd_offset" ->
+          cost 2.0;
+          let b = as_view (operand o 0) in
+          let by =
+            match (int_attr o "by", o.operands) with
+            | Some k, _ -> k
+            | None, [ _; v ] -> as_int v
+            | _ -> fail "increment_dsd_offset: no offset"
+          in
+          Hashtbl.replace env (result o).vid
+            (Cdsd { b with Bufview.off = b.Bufview.off + (by * b.Bufview.stride) })
+      | "csl.set_dsd_length" ->
+          cost 2.0;
+          let b = as_view (operand o 0) in
+          Hashtbl.replace env (result o).vid
+            (Cdsd { b with Bufview.len = int_attr_exn o "length" })
+      | "csl.set_dsd_base_addr" ->
+          cost 2.0;
+          let b = as_view (operand o 0) in
+          let base = as_view (operand o 1) in
+          Hashtbl.replace env (result o).vid
+            (Cdsd { b with Bufview.data = base.Bufview.data; off = base.Bufview.off })
+      | "csl.fadds" | "csl.fsubs" | "csl.fmuls" ->
+          let dest = as_view (operand o 0) in
+          let src1 = lookup (operand o 1) and src2 = lookup (operand o 2) in
+          let f =
+            match o.opname with
+            | "csl.fadds" -> ( +. )
+            | "csl.fsubs" -> ( -. )
+            | _ -> ( *. )
+          in
+          (match (src1, src2) with
+          | (Cdsd a | Cbuf a), (Cdsd b | Cbuf b) -> Bufview.map2_into f a b dest
+          | (Cdsd a | Cbuf a), Cfloat k -> Bufview.map_into (fun x -> f x k) a dest
+          | (Cdsd a | Cbuf a), Cint i ->
+              Bufview.map_into (fun x -> f x (float_of_int i)) a dest
+          | Cfloat k, (Cdsd b | Cbuf b) -> Bufview.map_into (fun x -> f k x) b dest
+          | _ -> fail "%s: bad operands" o.opname);
+          builtin_cost dest.Bufview.len;
+          pe.stats.flops <- pe.stats.flops +. float_of_int dest.Bufview.len
+      | "csl.fmacs" ->
+          let dest = as_view (operand o 0) in
+          let a = as_view (operand o 1) and b = as_view (operand o 2) in
+          let k = as_float (operand o 3) in
+          Bufview.fmac_into a b k dest;
+          builtin_cost dest.Bufview.len;
+          pe.stats.flops <- pe.stats.flops +. (2.0 *. float_of_int dest.Bufview.len)
+      | "csl.fmovs" ->
+          let dest = as_view (operand o 0) in
+          (match lookup (operand o 1) with
+          | Cdsd a | Cbuf a -> Bufview.blit ~src:a ~dst:dest
+          | Cfloat k -> Bufview.fill dest k
+          | _ -> fail "fmovs: bad source");
+          builtin_cost ~bytes_per_elem:8.0 dest.Bufview.len
+      | "arith.constant" -> (
+          match (attr o "value", (result o).vtyp) with
+          | Some (Int_attr i), _ -> Hashtbl.replace env (result o).vid (Cint i)
+          | Some (Float_attr f), _ -> Hashtbl.replace env (result o).vid (Cfloat f)
+          | _ -> fail "exec: bad constant")
+      | "arith.addi" ->
+          Hashtbl.replace env (result o).vid
+            (Cint (as_int (operand o 0) + as_int (operand o 1)))
+      | "arith.cmpi" ->
+          let a = as_int (operand o 0) and b = as_int (operand o 1) in
+          let r =
+            match string_attr_exn o "predicate" with
+            | "slt" -> a < b
+            | "sle" -> a <= b
+            | "sgt" -> a > b
+            | "sge" -> a >= b
+            | "eq" -> a = b
+            | "ne" -> a <> b
+            | p -> fail "cmpi: %s" p
+          in
+          Hashtbl.replace env (result o).vid (Cint (if r then 1 else 0))
+      | "scf.if" ->
+          cost 2.0;
+          let c = as_int (operand o 0) in
+          let r = region o (if c <> 0 then 0 else 1) in
+          comms := !comms @ exec_block sim pe env (entry_block r)
+      | "csl.call" ->
+          cost (float_of_int m.call_cycles);
+          comms := !comms @ exec_func sim pe (string_attr_exn o "callee") []
+      | "csl.activate" ->
+          cost 2.0;
+          pe.stats.task_activations <- pe.stats.task_activations + 1;
+          pe.task_queue <-
+            pe.task_queue
+            @ [ (pe.clock +. float_of_int m.task_activate_cycles, string_attr_exn o "task") ]
+      | "csl.assign_ptrs" ->
+          cost 4.0;
+          let dests = Csl.string_list_attr o "dests" in
+          let srcs = Csl.string_list_attr o "srcs" in
+          let olds = List.map (fun s -> !(Hashtbl.find pe.ptrs s)) srcs in
+          List.iter2 (fun d v -> Hashtbl.find pe.ptrs d := v) dests olds
+      | "csl.member_call" -> (
+          match string_attr_exn o "field" with
+          | "communicate" ->
+              cost (float_of_int m.call_cycles);
+              comms := !comms @ [ parse_comm_cfg (attr_exn o "config") ]
+          | f -> fail "member_call: unknown library function %s" f)
+      | "csl.unblock_cmd_stream" -> pe.finished <- true
+      | "csl.return" -> ()
+      | name -> fail "exec: unsupported op %s" name)
+    blk.bops;
+  !comms
+
+and exec_func (sim : t) (pe : pe) (name : string) (args : cell list) : comm_cfg list =
+  let f =
+    match Hashtbl.find_opt sim.funcs name with
+    | Some f -> f
+    | None -> (
+        match Hashtbl.find_opt sim.tasks name with
+        | Some t -> t
+        | None -> fail "no function or task %s" name)
+  in
+  let blk = entry_block (List.hd f.regions) in
+  let env = Hashtbl.create 32 in
+  List.iteri
+    (fun i a ->
+      match List.nth_opt args i with
+      | Some c -> Hashtbl.replace env a.vid c
+      | None -> fail "missing argument %d of %s" i name)
+    blk.bargs;
+  exec_block sim pe env blk
+
+(** {1 Communication engine} *)
+
+let dir_vector = function
+  | Dmp.East -> (1, 0)
+  | Dmp.West -> (-1, 0)
+  | Dmp.North -> (0, 1)
+  | Dmp.South -> (0, -1)
+
+let in_grid sim x y = x >= 0 && x < sim.width && y >= 0 && y < sim.height
+
+(** Register this PE's send for an exchange: snapshot the z range of each
+    send buffer, charge injection cost, record chunk completion times. *)
+let register_send (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) : unit =
+  let m = sim.machine in
+  let data =
+    List.map
+      (fun inp ->
+        let buf = deref pe inp.send_ptr in
+        Array.sub buf cfg.z_base cfg.c_nz)
+      cfg.inputs
+  in
+  let dirs_per_input =
+    List.map (fun inp -> List.length inp.swaps) cfg.inputs
+  in
+  let total_dirs = List.fold_left ( + ) 0 dirs_per_input in
+  let self_mul = if m.self_send then 2.0 else 1.0 in
+  let chunk_cost =
+    float_of_int (total_dirs * cfg.chunk_size) *. m.send_cycles_per_elem *. self_mul
+  in
+  let ready =
+    Array.init cfg.num_chunks (fun k ->
+        pe.clock +. (float_of_int (k + 1) *. chunk_cost))
+  in
+  pe.stats.send_cycles <- pe.stats.send_cycles +. (float_of_int cfg.num_chunks *. chunk_cost);
+  pe.stats.elems_sent <-
+    pe.stats.elems_sent + (total_dirs * cfg.num_chunks * cfg.chunk_size);
+  (* injection overlaps with waiting: model sender as busy for the first
+     chunk only; the rest stream out asynchronously *)
+  pe.clock <- pe.clock +. chunk_cost;
+  Hashtbl.replace sim.sends (cfg.apply_id, seq, pe.px, pe.py)
+    { sr_chunk_ready = ready; sr_data = data }
+
+(** State slot a communicated input corresponds to, for boundary-column
+    lookup: the Dirichlet halo is the initial value of that logical grid. *)
+let halo_slot (inp : input_cfg) : int =
+  let p = inp.send_ptr in
+  if String.length p > 9 && String.sub p 0 9 = "ptr_state" then
+    Option.value (int_of_string_opt (String.sub p 9 (String.length p - 9))) ~default:0
+  else 0
+
+(** The column a receiver gets from offset (dx, dy): either a fabric
+    neighbour's snapshot or the host-resident boundary column.
+    Returns (column z-range data, chunk ready times — None for halo). *)
+let source_column (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) ~(input : int)
+    ~(dx : int) ~(dy : int) : (float array * float array option) option =
+  let sx = pe.px + dx and sy = pe.py + dy in
+  if in_grid sim sx sy then
+    match Hashtbl.find_opt sim.sends (cfg.apply_id, seq, sx, sy) with
+    | Some sr -> Some (List.nth sr.sr_data input, Some sr.sr_chunk_ready)
+    | None -> None (* sender not ready: caller retries later *)
+  else begin
+    (* boundary: Dirichlet column held host-side, always available *)
+    let slot = halo_slot (List.nth cfg.inputs input) in
+    match Hashtbl.find_opt sim.halo (sx, sy) with
+    | Some col -> Some (Array.sub col ((slot * sim.zfull) + cfg.z_base) cfg.c_nz, None)
+    | None -> fail "no boundary column for (%d,%d)" sx sy
+  end
+
+(** Check whether all senders this PE depends on have registered. *)
+let exchange_ready (sim : t) (pe : pe) (w : waiting) : bool =
+  List.for_all
+    (fun (i, inp) ->
+      List.for_all
+        (fun (sw : Dmp.swap_desc) ->
+          let vx, vy = dir_vector sw.dir in
+          List.for_all
+            (fun d ->
+              source_column sim pe w.w_cfg w.w_seq ~input:i ~dx:(vx * d) ~dy:(vy * d)
+              <> None)
+            (List.init sw.depth (fun k -> k + 1)))
+        inp.swaps)
+    (List.mapi (fun i inp -> (i, inp)) w.w_cfg.inputs)
+
+(** Deliver all chunks and run the callbacks; assumes {!exchange_ready}. *)
+let rec complete_exchange (sim : t) (pe : pe) (w : waiting) : unit =
+  let m = sim.machine in
+  let cfg = w.w_cfg in
+  let cs = cfg.chunk_size in
+  let promoted = cfg.coeffs <> [] in
+  for k = 0 to cfg.num_chunks - 1 do
+    let off = k * cs in
+    let arrival = ref w.w_registered_at in
+    (* promoted staging buffers accumulate; clear once per chunk (with
+       the one-shot reduction several directions share one buffer) *)
+    if promoted then begin
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun inp ->
+          List.iter
+            (fun (_, name) ->
+              if not (Hashtbl.mem seen name) then begin
+                Hashtbl.replace seen name ();
+                let rcv = buffer_of pe name in
+                Array.fill rcv 0 (Array.length rcv) 0.0
+              end)
+            inp.rcv_bufs)
+        cfg.inputs
+    end;
+    (* deliver into receive buffers *)
+    List.iteri
+      (fun i inp ->
+        List.iter
+          (fun (sw : Dmp.swap_desc) ->
+            let vx, vy = dir_vector sw.dir in
+            let rcv = buffer_of pe (List.assoc sw.dir inp.rcv_bufs) in
+            for d = 1 to sw.depth do
+              match
+                source_column sim pe cfg w.w_seq ~input:i ~dx:(vx * d) ~dy:(vy * d)
+              with
+              | Some (col, ready) ->
+                  (match ready with
+                  | Some r ->
+                      arrival :=
+                        Float.max !arrival
+                          (r.(k) +. float_of_int (d * m.hop_cycles))
+                  | None -> ());
+                  if promoted then begin
+                    let c =
+                      match
+                        List.find_opt
+                          (fun (ci, cdx, cdy, _) ->
+                            ci = i && cdx = vx * d && cdy = vy * d)
+                          cfg.coeffs
+                      with
+                      | Some (_, _, _, c) -> c
+                      | None -> 0.0
+                    in
+                    for z = 0 to cs - 1 do
+                      rcv.(z) <- rcv.(z) +. (c *. col.(off + z))
+                    done
+                  end
+                  else
+                    Array.blit col off rcv ((d - 1) * cs) cs
+              | None -> fail "complete_exchange: sender disappeared"
+            done)
+          inp.swaps)
+      cfg.inputs;
+    (* run the chunk callback once data for this chunk has arrived *)
+    if !arrival > pe.clock then begin
+      pe.stats.wait_cycles <- pe.stats.wait_cycles +. (!arrival -. pe.clock);
+      pe.clock <- !arrival
+    end;
+    (* queue-drain cost: every incoming wavelet is moved (and, with
+       promoted coefficients, reduced) from the input queue to memory by
+       the communication library; on the WSE2 the self-send workaround
+       makes the PE drain its own looped-back wavelets as well *)
+    let incoming =
+      List.fold_left
+        (fun acc inp ->
+          List.fold_left (fun a (sw : Dmp.swap_desc) -> a + (sw.depth * cs)) acc
+            inp.swaps)
+        0 cfg.inputs
+    in
+    let self_loopback =
+      if m.self_send then
+        List.fold_left
+          (fun acc inp -> acc + (List.length inp.swaps * cs))
+          0 cfg.inputs
+      else 0
+    in
+    let drain =
+      float_of_int (incoming + self_loopback) *. m.drain_cycles_per_elem
+    in
+    pe.clock <- pe.clock +. drain;
+    pe.stats.compute_cycles <- pe.stats.compute_cycles +. drain;
+    pe.stats.elems_drained <- pe.stats.elems_drained + incoming;
+    (* with promoted coefficients the drain IS the algorithmic multiply
+       and accumulate (@fmacs off the fabric queue, SS5.7) *)
+    if promoted then pe.stats.flops <- pe.stats.flops +. (2.0 *. float_of_int incoming);
+    pe.stats.task_activations <- pe.stats.task_activations + 1;
+    pe.clock <- pe.clock +. float_of_int m.task_activate_cycles;
+    ignore (exec_func sim pe cfg.chunk_cb [ Cint off ])
+  done;
+  (* done callback: one final task activation *)
+  pe.stats.task_activations <- pe.stats.task_activations + 1;
+  pe.clock <- pe.clock +. float_of_int m.task_activate_cycles;
+  let new_comms = exec_func sim pe cfg.done_cb [] in
+  (* the done callback may start the next exchange *)
+  List.iter (start_exchange sim pe) new_comms
+
+and start_exchange (sim : t) (pe : pe) (cfg : comm_cfg) : unit =
+  let seq =
+    let s = Option.value (Hashtbl.find_opt pe.seq cfg.apply_id) ~default:0 in
+    Hashtbl.replace pe.seq cfg.apply_id (s + 1);
+    s
+  in
+  register_send sim pe cfg seq;
+  if pe.waiting <> None then fail "PE(%d,%d): overlapping exchanges" pe.px pe.py;
+  pe.waiting <- Some { w_cfg = cfg; w_seq = seq; w_registered_at = pe.clock }
+
+(** {1 Driver} *)
+
+(** Run queued tasks; returns true if anything executed. *)
+let run_tasks (sim : t) (pe : pe) : bool =
+  match pe.task_queue with
+  | [] -> false
+  | (t, name) :: rest ->
+      pe.task_queue <- rest;
+      pe.clock <- Float.max pe.clock t;
+      let comms = exec_func sim pe name [] in
+      List.iter (start_exchange sim pe) comms;
+      true
+
+(** Advance one PE as far as possible; returns true on progress. *)
+let step_pe (sim : t) (pe : pe) : bool =
+  if pe.finished then false
+  else begin
+    let progressed = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      (match pe.waiting with
+      | Some w when exchange_ready sim pe w ->
+          pe.waiting <- None;
+          complete_exchange sim pe w;
+          progressed := true;
+          continue_ := true
+      | _ -> ());
+      if pe.waiting = None && run_tasks sim pe then begin
+        progressed := true;
+        continue_ := true
+      end;
+      if pe.finished then continue_ := false
+    done;
+    !progressed
+  end
+
+(** Start the program on every PE (host calls the exported [run]). *)
+let launch (sim : t) : unit =
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun pe ->
+          let comms = exec_func sim pe "run" [] in
+          List.iter (start_exchange sim pe) comms)
+        col)
+    sim.pes
+
+(** Drive until every PE unblocks the command stream. *)
+let run_to_completion ?(max_rounds = 1_000_000) (sim : t) : unit =
+  launch sim;
+  let rounds = ref 0 in
+  let all_done () =
+    Array.for_all (fun col -> Array.for_all (fun pe -> pe.finished) col) sim.pes
+  in
+  let any = ref true in
+  while (not (all_done ())) && !any do
+    incr rounds;
+    if !rounds > max_rounds then fail "simulation did not converge";
+    any := false;
+    Array.iter
+      (fun col -> Array.iter (fun pe -> if step_pe sim pe then any := true) col)
+      sim.pes
+  done;
+  if not (all_done ()) then fail "deadlock: no PE can progress"
+
+(** Wall-clock of the slowest PE, in cycles and seconds. *)
+let elapsed_cycles (sim : t) : float =
+  Array.fold_left
+    (fun acc col -> Array.fold_left (fun acc pe -> Float.max acc pe.clock) acc col)
+    0.0 sim.pes
+
+let elapsed_seconds (sim : t) : float = elapsed_cycles sim /. sim.machine.clock_hz
+
+(** Aggregate statistics over all PEs. *)
+let total_stats (sim : t) : pe_stats =
+  let acc =
+    {
+      compute_cycles = 0.0;
+      send_cycles = 0.0;
+      wait_cycles = 0.0;
+      task_activations = 0;
+      flops = 0.0;
+      elems_sent = 0;
+      elems_drained = 0;
+      mem_bytes = 0.0;
+    }
+  in
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun pe ->
+          acc.compute_cycles <- acc.compute_cycles +. pe.stats.compute_cycles;
+          acc.send_cycles <- acc.send_cycles +. pe.stats.send_cycles;
+          acc.wait_cycles <- acc.wait_cycles +. pe.stats.wait_cycles;
+          acc.task_activations <- acc.task_activations + pe.stats.task_activations;
+          acc.flops <- acc.flops +. pe.stats.flops;
+          acc.elems_sent <- acc.elems_sent + pe.stats.elems_sent;
+          acc.elems_drained <- acc.elems_drained + pe.stats.elems_drained;
+          acc.mem_bytes <- acc.mem_bytes +. pe.stats.mem_bytes)
+        col)
+    sim.pes;
+  acc

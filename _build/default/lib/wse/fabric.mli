@@ -1,0 +1,98 @@
+(** Fabric simulator: executes a compiled csl program on a simulated grid
+    of PEs with per-PE cycle accounting, a native implementation of the
+    runtime communication library (paper §5.6), and the WSE2 self-send
+    switch behaviour.  See {!Host} for the data-loading front door. *)
+
+exception Sim_error of string
+
+type input_cfg = {
+  send_ptr : string;
+  swaps : Wsc_dialects.Dmp.swap_desc list;
+  rcv_bufs : (Wsc_dialects.Dmp.direction * string) list;
+}
+
+type comm_cfg = {
+  apply_id : int;
+  inputs : input_cfg list;
+  coeffs : (int * int * int * float) list;
+  z_base : int;
+  c_nz : int;
+  num_chunks : int;
+  chunk_size : int;
+  chunk_cb : string;
+  done_cb : string;
+}
+
+type pe_stats = {
+  mutable compute_cycles : float;
+  mutable send_cycles : float;
+  mutable wait_cycles : float;
+  mutable task_activations : int;
+  mutable flops : float;
+      (** algorithmic FLOPs, including promoted-coefficient reductions
+          performed while draining the input queue *)
+  mutable elems_sent : int;
+  mutable elems_drained : int;  (** wavelets received over the ramp *)
+  mutable mem_bytes : float;  (** SRAM traffic of the DSD builtins *)
+}
+
+type pe = {
+  px : int;
+  py : int;
+  globals : (string, float array) Hashtbl.t;
+  scalars : (string, int ref) Hashtbl.t;
+  ptrs : (string, string ref) Hashtbl.t;
+  mutable clock : float;  (** local cycle count *)
+  mutable finished : bool;
+  mutable task_queue : (float * string) list;
+  mutable waiting : waiting option;
+  mutable seq : (int, int) Hashtbl.t;
+  stats : pe_stats;
+}
+
+and waiting
+
+type t = {
+  machine : Machine.t;
+  program : Wsc_ir.Ir.op;
+  width : int;
+  height : int;
+  pes : pe array array;
+  funcs : (string, Wsc_ir.Ir.op) Hashtbl.t;
+  tasks : (string, Wsc_ir.Ir.op) Hashtbl.t;
+  sends : (int * int * int * int, send_record) Hashtbl.t;
+  halo : (int * int, float array) Hashtbl.t;
+      (** host-resident Dirichlet boundary columns *)
+  z_halo : int;
+  zfull : int;
+  nz : int;
+}
+
+and send_record
+
+(** Largest PE grid the simulator instantiates in one process; full
+    wafers are measured via proxy-grid extrapolation. *)
+val max_simulated_pes : int
+
+(** Instantiate the PE grid for a program module.
+    @raise Sim_error when the grid exceeds the fabric, is too large to
+    simulate in-process, or the program's per-PE memory exceeds 48 kB. *)
+val create : Machine.t -> Wsc_ir.Ir.op -> t
+
+val in_grid : t -> int -> int -> bool
+
+(** The buffer a pointer global of a PE currently targets. *)
+val deref : pe -> string -> float array
+
+(** Start the program on every PE and drive the dependency-directed
+    scheduler until every PE has unblocked the command stream.
+    @raise Sim_error on deadlock or divergence. *)
+val run_to_completion : ?max_rounds:int -> t -> unit
+
+(** Wall-clock of the slowest PE. *)
+val elapsed_cycles : t -> float
+
+val elapsed_seconds : t -> float
+
+(** Aggregate statistics over all PEs. *)
+val total_stats : t -> pe_stats

@@ -1,0 +1,100 @@
+(** Host runtime: the memcpy-style interface between field data and the
+    simulated fabric (paper §4.2's host interaction, simulator-side).
+
+    Loads one z-column per PE per state grid, keeps the global Dirichlet
+    boundary columns host-side (delivered by the communication engine as
+    virtual neighbours of edge PEs), runs the program, and reads the
+    results back through the module's result pointers. *)
+
+open Wsc_ir.Ir
+module I = Wsc_dialects.Interp
+
+exception Host_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Host_error s)) fmt
+
+type t = {
+  sim : Fabric.t;
+  program : op;
+  init_grids : I.grid list;  (** kept for boundary columns and halo readback *)
+  result_ptrs : string list;
+}
+
+let column_of_grid (g : I.grid) (x : int) (y : int) : float array =
+  match I.grid_get g [ x; y ] with
+  | I.Rtensor col -> col
+  | _ -> fail "grid element is not a z-column"
+
+(** Create the simulator and copy the initial state in. *)
+let load (machine : Machine.t) (program : op) (init_grids : I.grid list) : t =
+  let sim = Fabric.create machine program in
+  let n_state = int_attr_exn program "n_state" in
+  if List.length init_grids <> n_state then
+    fail "expected %d state grids, got %d" n_state (List.length init_grids);
+  let result_ptrs =
+    match attr_exn program "result_ptrs" with
+    | Array_attr l ->
+        List.map (function String_attr s -> s | _ -> fail "bad result_ptrs") l
+    | _ -> fail "bad result_ptrs"
+  in
+  let zfull = sim.Fabric.zfull in
+  (* interior columns into PE buffers *)
+  for x = 0 to sim.Fabric.width - 1 do
+    for y = 0 to sim.Fabric.height - 1 do
+      let pe = sim.Fabric.pes.(x).(y) in
+      List.iteri
+        (fun j g ->
+          let col = column_of_grid g x y in
+          if Array.length col <> zfull then
+            fail "column length %d does not match zfull %d" (Array.length col) zfull;
+          let buf = Fabric.deref pe (Printf.sprintf "ptr_state%d" j) in
+          Array.blit col 0 buf 0 zfull)
+        init_grids
+    done
+  done;
+  (* boundary columns host-side: all points of the full bounds outside the
+     PE grid, concatenated across state slots *)
+  (match init_grids with
+  | g0 :: _ ->
+      I.iter_points g0.I.gbounds (fun p ->
+          match p with
+          | [ x; y ] when not (Fabric.in_grid sim x y) ->
+              let col =
+                Array.concat (List.map (fun g -> column_of_grid g x y) init_grids)
+              in
+              Hashtbl.replace sim.Fabric.halo (x, y) col
+          | _ -> ())
+  | [] -> fail "no state grids");
+  { sim; program; init_grids; result_ptrs }
+
+(** Run the device program to completion. *)
+let run (h : t) : unit = Fabric.run_to_completion h.sim
+
+(** Read state grid [j] back: interior columns from the PEs (through the
+    final pointer assignment), halo columns unchanged from the initial
+    data. *)
+let read_state (h : t) (j : int) : I.grid =
+  let init = List.nth h.init_grids j in
+  let out = I.copy_grid init in
+  let ptr = List.nth h.result_ptrs j in
+  for x = 0 to h.sim.Fabric.width - 1 do
+    for y = 0 to h.sim.Fabric.height - 1 do
+      let pe = h.sim.Fabric.pes.(x).(y) in
+      let buf = Fabric.deref pe ptr in
+      I.grid_set out [ x; y ] (I.Rtensor (Array.copy buf))
+    done
+  done;
+  out
+
+let read_all (h : t) : I.grid list =
+  List.mapi (fun j _ -> read_state h j) h.init_grids
+
+(** {1 Convenience: compile + run + compare} *)
+
+(** Simulate a compiled program on freshly initialized grids; returns the
+    host handle after completion. *)
+let simulate (machine : Machine.t) (compiled : op) (init_grids : I.grid list) : t =
+  let _, program = Wsc_core.Pipeline.modules_of compiled in
+  let h = load machine program init_grids in
+  run h;
+  h

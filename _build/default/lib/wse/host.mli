@@ -1,0 +1,34 @@
+(** Host runtime: the memcpy-style interface between field data and the
+    simulated fabric — load one z-column per PE per state grid, keep the
+    global Dirichlet boundary columns host-side, run the device program,
+    read results back through the module's result pointers. *)
+
+exception Host_error of string
+
+type t = {
+  sim : Fabric.t;
+  program : Wsc_ir.Ir.op;
+  init_grids : Wsc_dialects.Interp.grid list;
+  result_ptrs : string list;
+}
+
+(** Create the simulator for [program] and copy the initial state grids
+    (2-D grids of z-column tensors, full halo bounds) onto the PEs.
+    @raise Host_error on state-count or column-length mismatch. *)
+val load :
+  Machine.t -> Wsc_ir.Ir.op -> Wsc_dialects.Interp.grid list -> t
+
+(** Run the device program to completion (host calls the exported
+    [run]). *)
+val run : t -> unit
+
+(** Read state grid [j] back: interior columns from the PEs through the
+    final pointer assignment, halo columns unchanged. *)
+val read_state : t -> int -> Wsc_dialects.Interp.grid
+
+val read_all : t -> Wsc_dialects.Interp.grid list
+
+(** [simulate machine compiled grids] — extract the program module from a
+    compiled result, load, and run to completion. *)
+val simulate :
+  Machine.t -> Wsc_ir.Ir.op -> Wsc_dialects.Interp.grid list -> t

@@ -1,0 +1,42 @@
+(** Machine models of the Cerebras WSE generations (paper §2, §6),
+    calibrated against published figures; the WSE2/WSE3 difference the
+    paper exploits is the WSE2's self-send switch workaround. *)
+
+type generation = WSE2 | WSE3
+
+type t = {
+  gen : generation;
+  name : string;
+  clock_hz : float;
+  max_width : int;
+  max_height : int;
+  pe_memory_bytes : int;  (** 48 kB of SRAM per PE *)
+  self_send : bool;  (** WSE2: every send also loops back through the PE *)
+  dsd_overhead_cycles : int;
+  dsd_elems_per_cycle : float;
+  send_cycles_per_elem : float;
+  drain_cycles_per_elem : float;
+  hop_cycles : int;
+  task_activate_cycles : int;
+  call_cycles : int;
+  flops_per_pe_per_cycle : float;  (** peak: one f32 FMA per cycle *)
+}
+
+val wse2 : t
+val wse3 : t
+val of_generation : generation -> t
+
+val total_pes : t -> int
+
+(** Peak f32 compute of the full wafer, FLOP/s. *)
+val peak_flops : t -> float
+
+(** Local SRAM bandwidth per PE: 128-bit read + 64-bit write per cycle. *)
+val mem_bandwidth_per_pe : t -> float
+
+(** Aggregate link bandwidth per PE (the headline fabric figure). *)
+val fabric_bandwidth_per_pe : t -> float
+
+(** Usable per-PE fabric bandwidth: the core-to-router ramp moves one
+    32-bit wavelet per cycle — what bounds a stencil's injection/drain. *)
+val ramp_bandwidth_per_pe : t -> float

@@ -1,0 +1,1 @@
+test/test_csl.ml: Alcotest List Option String Wsc_benchmarks Wsc_core Wsc_frontends Wsc_ir

@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Array Gen Hashtbl List Printf QCheck QCheck_alcotest Wsc_dialects Wsc_ir

@@ -1,0 +1,1 @@
+test/test_frontends.ml: Alcotest Float List Printf QCheck QCheck_alcotest Wsc_benchmarks Wsc_dialects Wsc_frontends Wsc_ir

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest List Option Printf Subst Wsc_benchmarks Wsc_dialects Wsc_frontends Wsc_ir

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Float List Option Printf Wsc_benchmarks Wsc_core Wsc_dialects Wsc_frontends Wsc_ir

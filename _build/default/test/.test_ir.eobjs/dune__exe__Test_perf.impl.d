@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Float List Wsc_benchmarks Wsc_core Wsc_perf Wsc_wse

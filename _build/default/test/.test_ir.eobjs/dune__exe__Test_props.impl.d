@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest String Wsc_core Wsc_dialects Wsc_frontends Wsc_ir Wsc_wse

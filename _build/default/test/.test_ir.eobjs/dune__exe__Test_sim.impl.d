@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Printf Wsc_benchmarks Wsc_core Wsc_dialects Wsc_frontends Wsc_wse

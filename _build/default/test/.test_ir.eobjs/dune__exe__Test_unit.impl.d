@@ -1,0 +1,1 @@
+test/test_unit.ml: Alcotest Array List String Wsc_benchmarks Wsc_core Wsc_dialects Wsc_frontends Wsc_ir Wsc_wse

@@ -1,0 +1,295 @@
+(* Tests for the csl-side backend: actor lowering (group 4), DSD lowering
+   (group 5), the generated module structure, the CSL printer and the
+   runtime-library source. *)
+
+open Wsc_ir.Ir
+module Stats = Wsc_ir.Stats
+module P = Wsc_frontends.Stencil_program
+module B = Wsc_benchmarks.Benchmarks
+module Core = Wsc_core
+module Csl = Wsc_core.Csl
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile ?(options = Core.Pipeline.default_options) id =
+  let p = (B.find id).make B.Tiny in
+  Core.Pipeline.compile ~options (P.compile p)
+
+let program_of compiled = snd (Core.Pipeline.modules_of compiled)
+let layout_of compiled = fst (Core.Pipeline.modules_of compiled)
+
+let func_names program =
+  List.filter_map
+    (fun o ->
+      if o.opname = "csl.func" || o.opname = "csl.task" then
+        Some (string_attr_exn o "sym_name")
+      else None)
+    (Csl.module_body program)
+
+(* ------------------------------------------------------------------ *)
+(* group 4: the actor task graph                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_task_graph_structure () =
+  let program = program_of (compile "jacobian") in
+  let names = func_names program in
+  List.iter
+    (fun n -> check ("has " ^ n) true (List.mem n names))
+    [ "run"; "loop_cond"; "advance"; "apply0_start"; "apply0_chunk"; "apply0_done" ];
+  (* exactly one task (the advance local task) *)
+  check_int "one local task" 1 (Stats.count program "csl.task");
+  (* no timestep loop remains anywhere *)
+  check_int "no scf.for" 0 (Stats.count program "scf.for")
+
+let test_chained_applies_without_inlining () =
+  let options = { Core.Pipeline.default_options with inline_stencils = false } in
+  let program = program_of (compile ~options "uvkbe") in
+  let names = func_names program in
+  List.iter
+    (fun n -> check ("has " ^ n) true (List.mem n names))
+    [ "apply0_start"; "apply0_done"; "apply1_start"; "apply1_done" ];
+  (* the first done callback chains into the second exchange *)
+  let done0 =
+    List.find
+      (fun o ->
+        (o.opname = "csl.func" || o.opname = "csl.task")
+        && string_attr o "sym_name" = Some "apply0_done")
+      (Csl.module_body program)
+  in
+  let calls = find_ops_by_name "csl.call" done0 in
+  check "done0 calls apply1_start" true
+    (List.exists (fun c -> string_attr_exn c "callee" = "apply1_start") calls)
+
+let test_pointer_rotation_jacobian () =
+  (* single state grid: simple double-buffer swap *)
+  let program = program_of (compile "jacobian") in
+  let ap = Option.get (find_op_by_name "csl.assign_ptrs" program) in
+  check "swap" true
+    (Csl.string_list_attr ap "dests" = [ "ptr_state0"; "ptr_out0" ]
+    && Csl.string_list_attr ap "srcs" = [ "ptr_out0"; "ptr_state0" ])
+
+let test_pointer_rotation_acoustic () =
+  (* two time levels: three-buffer rotation *)
+  let program = program_of (compile "acoustic") in
+  let ap = Option.get (find_op_by_name "csl.assign_ptrs" program) in
+  let dests = Csl.string_list_attr ap "dests" in
+  let srcs = Csl.string_list_attr ap "srcs" in
+  check "dests" true (dests = [ "ptr_state0"; "ptr_state1"; "ptr_out0" ]);
+  (* u_prev <- u, u <- u_next, out <- freed buffer *)
+  check "rotation" true (srcs = [ "ptr_state1"; "ptr_out0"; "ptr_state0" ])
+
+let test_memory_accounting () =
+  let program = program_of (compile "seismic") in
+  let declared =
+    List.fold_left
+      (fun acc o ->
+        if o.opname = "csl.global_buffer" then
+          acc
+          + (match attr_exn o "type" with
+            | Type_attr t -> size_in_bytes t
+            | _ -> 0)
+        else acc)
+      0 (Csl.module_body program)
+  in
+  let recorded = int_attr_exn program "memory_bytes" in
+  check "declared <= recorded (reserve included)" true (declared < recorded);
+  check "within a PE" true (recorded <= 48 * 1024)
+
+let test_result_ptrs () =
+  let program = program_of (compile "acoustic") in
+  match attr_exn program "result_ptrs" with
+  | Array_attr [ String_attr a; String_attr b ] ->
+      check "state ptrs" true (a = "ptr_state0" && b = "ptr_state1")
+  | _ -> Alcotest.fail "bad result_ptrs"
+
+(* ------------------------------------------------------------------ *)
+(* group 5: DSDs and builtins                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_linalg_or_memref_left () =
+  List.iter
+    (fun (d : B.descr) ->
+      let program = program_of (compile d.id) in
+      walk_op
+        (fun o ->
+          if
+            String.length o.opname > 7
+            && (String.sub o.opname 0 7 = "linalg." || String.sub o.opname 0 7 = "memref.")
+          then Alcotest.failf "%s: %s survives group 5" d.id o.opname)
+        program)
+    B.all
+
+let test_dsd_builtins_present () =
+  let program = program_of (compile "seismic") in
+  check "fmacs generated" true (Stats.count program "csl.fmacs" > 0);
+  check "dsd definitions" true (Stats.count program "csl.get_mem_dsd" > 0)
+
+let test_fmacs_count_matches_fusion () =
+  (* every linalg.fmac of the bufferized form becomes a csl.fmacs *)
+  let p = (B.find "diffusion").make B.Tiny in
+  let mid =
+    Wsc_ir.Pass.run_pipeline
+      (Core.Pipeline.frontend_passes Core.Pipeline.default_options
+      @ Core.Pipeline.middle_passes Core.Pipeline.default_options)
+      (P.compile p)
+  in
+  let n_fmac = Stats.count mid "linalg.fmac" in
+  let program = program_of (Core.Pipeline.compile (P.compile p)) in
+  check_int "fmacs preserved" n_fmac (Stats.count program "csl.fmacs")
+
+(* ------------------------------------------------------------------ *)
+(* layout module                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_module () =
+  let compiled = compile "jacobian" in
+  let layout = layout_of compiled in
+  check "is layout" true (Csl.module_kind_of layout = Csl.Layout);
+  let sr = Option.get (find_op_by_name "csl.set_rectangle" layout) in
+  check_int "width" 4 (int_attr_exn sr "width");
+  check_int "height" 4 (int_attr_exn sr "height");
+  let pp = Option.get (find_op_by_name "csl.place_pes" layout) in
+  check "program file" true
+    (string_attr_exn pp "file" = "stencil_program.csl")
+
+(* ------------------------------------------------------------------ *)
+(* CSL printer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_printer_files () =
+  let files = Core.Csl_printer.print_files (compile "seismic") in
+  check_int "three files" 3 (List.length files);
+  List.iter
+    (fun (f : Core.Csl_printer.file) ->
+      check (f.filename ^ " nonempty") true (Core.Csl_printer.loc_of f.contents > 5))
+    files
+
+let expect_substrings text subs =
+  List.iter
+    (fun sub ->
+      let found =
+        let n = String.length text and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+        go 0
+      in
+      if not found then Alcotest.failf "missing %S in generated CSL" sub)
+    subs
+
+let test_printer_program_constructs () =
+  let files = Core.Csl_printer.print_files (compile "jacobian") in
+  let program =
+    (List.find
+       (fun (f : Core.Csl_printer.file) -> f.filename = "stencil_program.csl")
+       files)
+      .contents
+  in
+  expect_substrings program
+    [
+      "@import_module";
+      "@zeros";
+      "@get_dsd(mem1d_dsd";
+      "@fmacs(";
+      "@fmovs(";
+      "comms.communicate";
+      "task advance()";
+      "@bind_local_task";
+      "@export_symbol(run)";
+      "unblock_cmd_stream";
+      "fn apply0_chunk(arg0: i16)";
+    ];
+  (* the unpromoted UVKBE squares produce explicit adds and multiplies *)
+  let files2 = Core.Csl_printer.print_files (compile "uvkbe") in
+  let program2 =
+    (List.find
+       (fun (f : Core.Csl_printer.file) -> f.filename = "stencil_program.csl")
+       files2)
+      .contents
+  in
+  expect_substrings program2 [ "@fadds("; "@fmuls(" ]
+
+let test_printer_layout_constructs () =
+  let files = Core.Csl_printer.print_files (compile "jacobian") in
+  let layout =
+    (List.find
+       (fun (f : Core.Csl_printer.file) ->
+         f.filename = "stencil_program_layout.csl")
+       files)
+      .contents
+  in
+  expect_substrings layout
+    [ "@set_rectangle"; "@set_tile_code"; "@export_name"; "layout {" ]
+
+let test_comms_library_source () =
+  let src = Core.Comms_csl.source in
+  check "substantial library" true (Core.Csl_printer.loc_of src > 250);
+  expect_substrings src
+    [
+      "fn communicate(";
+      "task east_recv_column()";
+      "task west_recv_column()";
+      "task north_recv_column()";
+      "task south_recv_column()";
+      "wse2_self_send";
+      "@fmacs(stage_dsd, stage_dsd, fabin_east";
+      "@bind_data_task";
+      "@get_color";
+    ]
+
+let test_printer_deterministic () =
+  let one () = Core.Csl_printer.print_files (compile "acoustic") in
+  let a = one () and b = one () in
+  List.iter2
+    (fun (x : Core.Csl_printer.file) (y : Core.Csl_printer.file) ->
+      Alcotest.(check string) ("stable " ^ x.filename) x.contents y.contents)
+    a b
+
+(* ------------------------------------------------------------------ *)
+(* wrapper params                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_wrapper_params () =
+  let p = (B.find "seismic").make B.Tiny in
+  let m =
+    Wsc_ir.Pass.run_pipeline
+      (Core.Pipeline.frontend_passes Core.Pipeline.default_options
+      @ Core.Pipeline.middle_passes Core.Pipeline.default_options)
+      (P.compile p)
+  in
+  check "wrapped" true (Core.Csl_wrapper.is_module m);
+  let params = Core.Csl_wrapper.params_of m in
+  check_int "width" 4 params.width;
+  check_int "height" 4 params.height;
+  check_int "pattern = radius + 1" 5 params.pattern;
+  check_int "z with halo" (10 + 8) params.z_dim
+
+let () =
+  Alcotest.run "csl"
+    [
+      ( "actors",
+        [
+          Alcotest.test_case "task graph" `Quick test_task_graph_structure;
+          Alcotest.test_case "chained applies" `Quick
+            test_chained_applies_without_inlining;
+          Alcotest.test_case "rotation: jacobian" `Quick test_pointer_rotation_jacobian;
+          Alcotest.test_case "rotation: acoustic" `Quick test_pointer_rotation_acoustic;
+          Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
+          Alcotest.test_case "result ptrs" `Quick test_result_ptrs;
+        ] );
+      ( "dsd",
+        [
+          Alcotest.test_case "no linalg/memref left" `Quick test_no_linalg_or_memref_left;
+          Alcotest.test_case "builtins present" `Quick test_dsd_builtins_present;
+          Alcotest.test_case "fmacs preserved" `Quick test_fmacs_count_matches_fusion;
+        ] );
+      ("layout", [ Alcotest.test_case "layout module" `Quick test_layout_module ]);
+      ( "printer",
+        [
+          Alcotest.test_case "files" `Quick test_printer_files;
+          Alcotest.test_case "program constructs" `Quick test_printer_program_constructs;
+          Alcotest.test_case "layout constructs" `Quick test_printer_layout_constructs;
+          Alcotest.test_case "comms library" `Quick test_comms_library_source;
+          Alcotest.test_case "deterministic" `Quick test_printer_deterministic;
+        ] );
+      ("wrapper", [ Alcotest.test_case "params" `Quick test_wrapper_params ]);
+    ]

@@ -1,0 +1,335 @@
+(* Tests for the SSA IR core: structure, attributes, traversal,
+   substitution, cloning, DCE, the textual printer/parser round trip and
+   the verifier. *)
+
+open Wsc_ir.Ir
+module Printer = Wsc_ir.Printer
+module Parser = Wsc_ir.Parser
+module Verifier = Wsc_ir.Verifier
+module Builtin = Wsc_dialects.Builtin
+module Arith = Wsc_dialects.Arith
+module Func = Wsc_dialects.Func
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* construction and attributes                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_op () =
+  let a = new_value F32 and b = new_value F32 in
+  let op = create_op "test.add" ~operands:[ a; b ] ~results:[ F32 ] in
+  check_int "operand count" 2 (List.length op.operands);
+  check_int "result count" 1 (List.length op.results);
+  check "result type" true ((result op).vtyp = F32);
+  check "fresh result ids" true ((result op).vid <> a.vid)
+
+let test_attrs () =
+  let op =
+    create_op "test.op" ~results:[]
+      ~attrs:[ ("i", Int_attr 42); ("f", Float_attr 1.5); ("s", String_attr "x") ]
+  in
+  check_int "int attr" 42 (int_attr_exn op "i");
+  check "float attr" true (float_attr_exn op "f" = 1.5);
+  check_str "string attr" "x" (string_attr_exn op "s");
+  check "missing attr" true (attr op "nope" = None);
+  set_attr op "i" (Int_attr 7);
+  check_int "overwrite" 7 (int_attr_exn op "i");
+  remove_attr op "i";
+  check "removed" true (attr op "i" = None);
+  Alcotest.check_raises "missing raises"
+    (Invalid_argument "op test.op: missing attribute gone") (fun () ->
+      ignore (attr_exn op "gone"))
+
+let test_dense_ints () =
+  let op = create_op "t" ~results:[] ~attrs:[ ("off", Dense_ints [ 1; -2; 3 ]) ] in
+  check "dense ints" true (dense_ints_exn op "off" = [ 1; -2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* type helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_type_helpers () =
+  let t = Temp ([ (-1, 5); (-1, 5); (-2, 10) ], F32) in
+  check "elem" true (elem_type t = F32);
+  check "shape" true (shape_of t = [ 6; 6; 12 ]);
+  check_int "elements" (6 * 6 * 12) (num_elements t);
+  check_int "bytes" (6 * 6 * 12 * 4) (size_in_bytes t);
+  check_int "rank" 3 (rank t);
+  let tt = Temp ([ (0, 4) ], Tensor ([ 8 ], F32)) in
+  check "nested elem" true (elem_type tt = F32);
+  check_int "tensor bytes" (8 * 4) (size_in_bytes (Tensor ([ 8 ], F32)))
+
+(* ------------------------------------------------------------------ *)
+(* traversal, use counts, dce                                          *)
+(* ------------------------------------------------------------------ *)
+
+let simple_module () =
+  let f =
+    Func.func ~name:"f" ~args:[ F32 ] ~results:[ F32 ] (fun b args ->
+        let x = List.hd args in
+        let c = Wsc_ir.Builder.insert b (Arith.constant_f 2.0) in
+        let m = Wsc_ir.Builder.insert b (Arith.mulf c x) in
+        let dead = Wsc_ir.Builder.insert b (Arith.addf x x) in
+        ignore dead;
+        Wsc_ir.Builder.insert0 b (Func.return_ [ m ]))
+  in
+  Builtin.module_op [ f ]
+
+let test_walk () =
+  let m = simple_module () in
+  let names = ref [] in
+  walk_op (fun o -> names := o.opname :: !names) m;
+  check "walk sees module" true (List.mem "builtin.module" !names);
+  check "walk sees nested" true (List.mem "arith.mulf" !names);
+  check_int "op count" 6 (Wsc_ir.Stats.total_ops m);
+  check_int "find_ops" 1 (List.length (find_ops_by_name "arith.mulf" m));
+  check "find_op none" true (find_op_by_name "nope.op" m = None)
+
+let test_use_counts_and_dce () =
+  let m = simple_module () in
+  let pure = function
+    | "arith.addf" | "arith.mulf" | "arith.constant" -> true
+    | _ -> false
+  in
+  let removed = dce ~pure m in
+  check_int "dead addf removed" 1 removed;
+  check_int "mulf kept" 1 (Wsc_ir.Stats.count m "arith.mulf");
+  check_int "addf gone" 0 (Wsc_ir.Stats.count m "arith.addf")
+
+let test_subst () =
+  let a = new_value F32 and b = new_value F32 and c = new_value F32 in
+  let s = Subst.create () in
+  Subst.add s ~from:a ~to_:b;
+  Subst.add s ~from:b ~to_:c;
+  check "chases chains" true ((Subst.resolve s a).vid = c.vid);
+  check "identity" true ((Subst.resolve s c).vid = c.vid)
+
+let test_clone () =
+  let m = simple_module () in
+  let f = Option.get (Func.lookup m "f") in
+  let s = Subst.create () in
+  let f2 = clone_op s f in
+  check "clone keeps name" true (f2.opname = "func.func");
+  check_int "clone keeps body size" (List.length (Func.entry f).bops)
+    (List.length (Func.entry f2).bops);
+  (* the clone must not alias the original's values *)
+  let orig_ids = ref [] in
+  walk_op (fun o -> List.iter (fun v -> orig_ids := v.vid :: !orig_ids) o.results) f;
+  walk_op
+    (fun o ->
+      List.iter (fun v -> check "fresh ids" false (List.mem v.vid !orig_ids)) o.results)
+    f2
+
+let test_rewrite_block () =
+  let m = simple_module () in
+  let f = Option.get (Func.lookup m "f") in
+  let blk = Func.entry f in
+  let before = List.length blk.bops in
+  rewrite_block
+    (fun o -> if o.opname = "arith.addf" then Erase else Keep)
+    blk;
+  check_int "one erased" (before - 1) (List.length blk.bops)
+
+(* ------------------------------------------------------------------ *)
+(* printer / parser round trip                                         *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_fixpoint m =
+  let s1 = Printer.op_to_string m in
+  let s2 = Printer.op_to_string (Parser.parse_string s1) in
+  let s3 = Printer.op_to_string (Parser.parse_string s2) in
+  (s2, s3)
+
+let test_roundtrip_simple () =
+  let s2, s3 = roundtrip_fixpoint (simple_module ()) in
+  check_str "fixpoint" s2 s3
+
+let test_roundtrip_all_benchmarks () =
+  List.iter
+    (fun (d : Wsc_benchmarks.Benchmarks.descr) ->
+      let p = d.make Wsc_benchmarks.Benchmarks.Tiny in
+      let m = Wsc_frontends.Stencil_program.compile p in
+      let s2, s3 = roundtrip_fixpoint m in
+      check_str ("fixpoint " ^ d.id) s2 s3)
+    Wsc_benchmarks.Benchmarks.all
+
+let test_parse_types () =
+  List.iter
+    (fun t ->
+      let s = Printer.typ_to_string t in
+      (* embed in a constant op so the parser exercises the type position *)
+      let v = new_value t in
+      let op = create_op "test.id" ~operands:[ v ] ~results:[ t ] in
+      ignore op;
+      let text = Printf.sprintf "%%r = \"test.src\"() : () -> (%s)" s in
+      let parsed = Parser.parse_string text in
+      check_str ("type " ^ s) s (Printer.typ_to_string (result parsed).vtyp))
+    [
+      F16; F32; F64; I1; I16; I32; I64; Index;
+      Tensor ([ 4 ], F32);
+      Tensor ([ 4; 8 ], F32);
+      Tensor ([], F32);
+      Memref ([ 16 ], F32);
+      Temp ([ (-1, 5) ], F32);
+      Temp ([ (-1, 5); (0, 3) ], Tensor ([ 7 ], F32));
+      Field ([ (-2, 10); (-2, 10); (-2, 12) ], F32);
+      Ptr (Memref ([ 8 ], F32), Ptr_many);
+      Ptr (F32, Ptr_single);
+      Dsd Mem1d; Dsd Mem4d; Dsd Fabin; Dsd Fabout;
+      Color;
+      Struct "comms";
+    ]
+
+let test_parse_errors () =
+  let bad = [ "\"op\"("; "\"op\"() : () -> (badtype)"; "%x = \"op\"() : () -> ()" ] in
+  List.iter
+    (fun s ->
+      match Parser.parse_string s with
+      | exception Parser.Parse_error _ -> ()
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" s)
+    bad
+
+let test_parse_attrs_roundtrip () =
+  let attrs =
+    [
+      ("a", Int_attr (-3));
+      ("b", Float_attr 2.5);
+      ("c", String_attr "hi \"there\"\n");
+      ("d", Array_attr [ Int_attr 1; Float_attr 2.0 ]);
+      ("e", Dict_attr [ ("x", Int_attr 1); ("y", String_attr "z") ]);
+      ("f", Dense_ints [ 1; 2; 3 ]);
+      ("g", Dense_floats [ 1.5; -2.25 ]);
+      ("h", Symbol_ref "some_fn");
+      ("i", Bool_attr true);
+      ("j", Unit_attr);
+    ]
+  in
+  let op = create_op "test.attrs" ~results:[] ~attrs in
+  let s = Printer.op_to_string op in
+  let op2 = Parser.parse_string s in
+  List.iter
+    (fun (k, v) ->
+      let v2 = Option.get (attr op2 k) in
+      (* unit prints as "unit" and reparses as itself; booleans likewise *)
+      check ("attr " ^ k) true (v = v2 || (v = Unit_attr && v2 = Unit_attr)))
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_verifier_accepts () =
+  Verifier.verify (simple_module ())
+
+let test_verifier_ssa_violation () =
+  (* an op that uses a value never defined *)
+  let ghost = new_value F32 in
+  let use = create_op "test.use" ~operands:[ ghost ] ~results:[] in
+  let m = Builtin.module_op [ use ] in
+  match Verifier.verify m with
+  | exception Verifier.Verification_error _ -> ()
+  | () -> Alcotest.fail "expected SSA violation"
+
+let test_verifier_use_before_def () =
+  let c = Arith.constant_f 1.0 in
+  let use = create_op "test.use" ~operands:[ result c ] ~results:[] in
+  (* use placed before its definition *)
+  let m = Builtin.module_op [ use; c ] in
+  match Verifier.verify m with
+  | exception Verifier.Verification_error _ -> ()
+  | () -> Alcotest.fail "expected use-before-def"
+
+let test_verifier_terminator () =
+  (* func without return *)
+  let f =
+    Func.func ~name:"g" ~args:[] ~results:[] (fun b _ ->
+        Wsc_ir.Builder.insert0 b (Arith.constant_f 1.0))
+  in
+  let m = Builtin.module_op [ f ] in
+  match Verifier.verify m with
+  | exception Verifier.Verification_error _ -> ()
+  | () -> Alcotest.fail "expected missing-terminator error"
+
+let test_verify_result () =
+  check "ok is Ok" true (Verifier.verify_result (simple_module ()) = Ok ());
+  let ghost = new_value F32 in
+  let m = Builtin.module_op [ create_op "t" ~operands:[ ghost ] ~results:[] ] in
+  check "error is Error" true
+    (match Verifier.verify_result m with Error _ -> true | Ok () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* pass manager                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_runs_in_order () =
+  let log = ref [] in
+  let mk name = Wsc_ir.Pass.make_inplace name (fun _ -> log := name :: !log) in
+  let m = simple_module () in
+  ignore (Wsc_ir.Pass.run_pipeline [ mk "a"; mk "b"; mk "c" ] m);
+  check "order" true (List.rev !log = [ "a"; "b"; "c" ])
+
+let test_pipeline_verifies () =
+  let break =
+    Wsc_ir.Pass.make_inplace "break" (fun m ->
+        (* splice in an op using an undefined value *)
+        let ghost = new_value F32 in
+        Builtin.set_body m
+          (Builtin.body m @ [ create_op "bad" ~operands:[ ghost ] ~results:[] ]))
+  in
+  match Wsc_ir.Pass.run_pipeline [ break ] (simple_module ()) with
+  | exception Wsc_ir.Pass.Pass_failed ("break", _) -> ()
+  | _ -> Alcotest.fail "expected Pass_failed"
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let m = simple_module () in
+  let hist = Wsc_ir.Stats.op_histogram m in
+  check_int "mulf count" 1 (List.assoc "arith.mulf" hist);
+  check_int "addf count" 1 (List.assoc "arith.addf" hist)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "create op" `Quick test_create_op;
+          Alcotest.test_case "attributes" `Quick test_attrs;
+          Alcotest.test_case "dense ints" `Quick test_dense_ints;
+          Alcotest.test_case "type helpers" `Quick test_type_helpers;
+          Alcotest.test_case "walk" `Quick test_walk;
+          Alcotest.test_case "use counts and dce" `Quick test_use_counts_and_dce;
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "clone" `Quick test_clone;
+          Alcotest.test_case "rewrite block" `Quick test_rewrite_block;
+        ] );
+      ( "printer-parser",
+        [
+          Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+          Alcotest.test_case "roundtrip benchmarks" `Quick
+            test_roundtrip_all_benchmarks;
+          Alcotest.test_case "types" `Quick test_parse_types;
+          Alcotest.test_case "attrs" `Quick test_parse_attrs_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_verifier_accepts;
+          Alcotest.test_case "ssa violation" `Quick test_verifier_ssa_violation;
+          Alcotest.test_case "use before def" `Quick test_verifier_use_before_def;
+          Alcotest.test_case "terminator" `Quick test_verifier_terminator;
+          Alcotest.test_case "verify_result" `Quick test_verify_result;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "pipeline order" `Quick test_pipeline_runs_in_order;
+          Alcotest.test_case "pipeline verifies" `Quick test_pipeline_verifies;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

