@@ -236,6 +236,67 @@ let weak () =
     [ 1024; 1448; 2048 ]
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler microbenchmark: polling vs event-driven fabric driver     *)
+(* ------------------------------------------------------------------ *)
+
+let sched () =
+  header
+    "Scheduler: polling vs event-driven fabric driver, seed benchmarks at\n\
+     Large size (proxy-grid runs with the real z extent, as used by every\n\
+     Large measurement).  Bit-identity of elapsed cycles and aggregate\n\
+     stats is checked on every benchmark.";
+  let module F = Wsc_wse.Fabric in
+  let stats_equal (a : F.pe_stats) (b : F.pe_stats) =
+    a.compute_cycles = b.compute_cycles
+    && a.send_cycles = b.send_cycles
+    && a.wait_cycles = b.wait_cycles
+    && a.task_activations = b.task_activations
+    && a.flops = b.flops
+    && a.elems_sent = b.elems_sent
+    && a.elems_drained = b.elems_drained
+    && a.mem_bytes = b.mem_bytes
+  in
+  let extent = 16 and iters = 8 in
+  Printf.printf "proxy grid %dx%d PEs, %d timesteps, WSE3\n" extent extent iters;
+  Printf.printf
+    "(PE scans = step visits; probes = finished-flag sweeps the polling\n\
+    \ loop repeats every round; total = scans + probes)\n\n";
+  Printf.printf "%-10s %-8s %8s %8s %8s %8s %6s %8s %10s %9s\n" "benchmark"
+    "driver" "scans" "probes" "total" "wakeups" "qmax" "wall ms" "cycles"
+    "identical";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (d : B.descr) ->
+      let run driver =
+        let t0 = Sys.time () in
+        let h, _ = WP.simulate_proxy ~driver ~extent d ~machine:Machine.wse3 ~iters in
+        let wall_ms = (Sys.time () -. t0) *. 1e3 in
+        (F.elapsed_cycles h.sim, F.total_stats h.sim, F.sched_stats h.sim, wall_ms)
+      in
+      let cp, sp, kp, wp_ms = run F.Polling in
+      let ce, se, ke, we_ms = run F.Event_driven in
+      let identical = cp = ce && stats_equal sp se in
+      if not identical then incr mismatches;
+      let totp = kp.F.Sched.scans + kp.F.Sched.probes in
+      let tote = ke.F.Sched.scans + ke.F.Sched.probes in
+      Printf.printf "%-10s %-8s %8d %8d %8d %8s %6s %8.1f %10.0f %9s\n" d.id
+        "polling" kp.F.Sched.scans kp.F.Sched.probes totp "-" "-" wp_ms cp "";
+      Printf.printf "%-10s %-8s %8d %8d %8d %8d %6d %8.1f %10.0f %9s\n" ""
+        "event" ke.F.Sched.scans ke.F.Sched.probes tote ke.F.Sched.wakeups
+        ke.F.Sched.max_queue_depth we_ms ce
+        (if identical then "yes" else "NO");
+      Printf.printf "%-10s polls avoided: %d (%.2fx fewer PE visits)\n\n" ""
+        (totp - tote)
+        (float_of_int totp /. float_of_int (max 1 tote)))
+    B.all;
+  if !mismatches = 0 then
+    Printf.printf "all benchmarks: elapsed cycles and total stats bit-identical\n"
+  else begin
+    Printf.printf "MISMATCH on %d benchmark(s)\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -278,6 +339,7 @@ let experiments =
     ("tflops", tflops);
     ("ablations", ablations);
     ("weak", weak);
+    ("sched", sched);
     ("micro", micro);
   ]
 

@@ -25,10 +25,12 @@ let is_ident_char c =
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize (s : string) : token list =
+(** Tokenize to a list of (token, source line) pairs; multi-line tokens
+    carry their starting line. *)
+let tokenize (s : string) : (token * int) list =
   let n = String.length s in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
+  let line = ref 1 in
   let i = ref 0 in
   let read_ident start =
     let j = ref start in
@@ -39,7 +41,11 @@ let tokenize (s : string) : token list =
   in
   while !i < n do
     let c = s.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    let emit t = toks := (t, !line) :: !toks in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+      if c = '\n' then incr line;
+      incr i
+    end
     else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
       while !i < n && s.[!i] <> '\n' do incr i done
     end
@@ -49,6 +55,7 @@ let tokenize (s : string) : token list =
     else if c = '"' then begin
       incr i;
       let buf = Buffer.create 16 in
+      let start_line = !line in
       while !i < n && s.[!i] <> '"' do
         if s.[!i] = '\\' && !i + 1 < n then begin
           (match s.[!i + 1] with
@@ -59,13 +66,15 @@ let tokenize (s : string) : token list =
           i := !i + 2
         end
         else begin
+          if s.[!i] = '\n' then incr line;
           Buffer.add_char buf s.[!i];
           incr i
         end
       done;
-      if !i >= n then raise (Parse_error "unterminated string");
+      if !i >= n then
+        raise (Parse_error (Printf.sprintf "unterminated string (line %d)" start_line));
       incr i;
-      emit (Tstring (Buffer.contents buf))
+      toks := (Tstring (Buffer.contents buf), start_line) :: !toks
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
       let start = !i in
@@ -104,15 +113,18 @@ let tokenize (s : string) : token list =
       emit (Tpunct (String.make 1 c))
     end
   done;
-  List.rev (Teof :: !toks)
+  List.rev ((Teof, !line) :: !toks)
 
 (** Parser state. *)
 type state = {
-  mutable toks : token list;
+  mutable toks : (token * int) list;
   values : (string, value) Hashtbl.t;  (* %name -> value *)
 }
 
-let peek st = match st.toks with t :: _ -> t | [] -> Teof
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+
+(** Source line of the next token (for error reports). *)
+let peek_line st = match st.toks with (_, l) :: _ -> l | [] -> 0
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
@@ -129,7 +141,10 @@ let token_str = function
   | Teof -> "<eof>"
 
 let fail st msg =
-  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (token_str (peek st))))
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at %s, line %d)" msg (token_str (peek st))
+          (peek_line st)))
 
 let expect st p =
   match peek st with
@@ -325,13 +340,14 @@ and parse_bounds st : (int * int) list =
          'x' merged with following type name like "xf32" *)
       match peek st with
       | Tid s when String.length s >= 1 && s.[0] = 'x' ->
+          let l = peek_line st in
           advance st;
           let rest = String.sub s 1 (String.length s - 1) in
           if rest = "" then go (acc @ [ (lb, ub) ])
           else begin
             (* rest is the element type name (scalar or compound like
                "tensor"): push it back and end the bounds *)
-            st.toks <- Tid rest :: st.toks;
+            st.toks <- (Tid rest, l) :: st.toks;
             acc @ [ (lb, ub) ]
           end
       | _ -> acc @ [ (lb, ub) ]
@@ -466,6 +482,7 @@ let rec parse_op st : op =
         ns
     | _ -> []
   in
+  let op_line = peek_line st in
   let opname =
     match peek st with
     | Tstring s ->
@@ -520,12 +537,21 @@ let rec parse_op st : op =
   expect st "(";
   let out_types = parse_typ_list_until st ")" in
   expect st ")";
+  (* guard the List.map2/iter2 below: a count mismatch must surface as a
+     parse error naming the op and its source line, not as a bare
+     [Invalid_argument "List.map2"] *)
   if List.length in_types <> List.length operand_names then
-    fail st (Printf.sprintf "op %s: %d operands but %d operand types" opname
-               (List.length operand_names) (List.length in_types));
+    fail st
+      (Printf.sprintf "op %s (line %d): %d operands but %d operand types" opname
+         op_line
+         (List.length operand_names)
+         (List.length in_types));
   if List.length out_types <> List.length result_names then
-    fail st (Printf.sprintf "op %s: %d results but %d result types" opname
-               (List.length result_names) (List.length out_types));
+    fail st
+      (Printf.sprintf "op %s (line %d): %d results but %d result types" opname
+         op_line
+         (List.length result_names)
+         (List.length out_types));
   let operands = List.map2 (lookup_value st) operand_names in_types in
   let op = create_op opname ~operands ~attrs ~regions ~results:out_types in
   List.iter2
@@ -586,7 +612,11 @@ let parse_string (s : string) : op =
   let op = parse_op st in
   (match peek st with
   | Teof -> ()
-  | t -> raise (Parse_error ("trailing input: " ^ token_str t)));
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "trailing input: %s (line %d)" (token_str t)
+              (peek_line st))));
   op
 
 let parse_file path =

@@ -5,7 +5,9 @@
 exception Parse_error of string
 
 (** Parse a single top-level operation (usually a [builtin.module]).
-    @raise Parse_error on malformed input or trailing tokens. *)
+    @raise Parse_error on malformed input or trailing tokens; messages
+    name the offending op and its source line (e.g. an operand count
+    that disagrees with the op's type list). *)
 val parse_string : string -> Ir.op
 
 val parse_file : string -> Ir.op

@@ -28,23 +28,29 @@ let default_options =
 
 exception Pass_failed of string * exn
 
-(** Run [passes] over [m] in order. *)
+(** Run [passes] over [m] in order.  Any exception escaping a pass —
+    verifier errors, [Invalid_argument], [Failure], [Not_found], … — is
+    wrapped in [Pass_failed] so the failing pass is always named. *)
 let run_pipeline ?(options = default_options) (passes : t list) (m : op) : op =
   List.fold_left
     (fun m pass ->
       let m' =
-        try pass.run m
-        with
-        | Verifier.Verification_error _ as e -> raise (Pass_failed (pass.pass_name, e))
-        | Invalid_argument _ as e -> raise (Pass_failed (pass.pass_name, e))
+        try pass.run m with
+        | Pass_failed _ as e ->
+            (* a nested pipeline already attributed the failure *)
+            raise e
+        | e -> raise (Pass_failed (pass.pass_name, e))
       in
       if options.dump_each then begin
         Format.fprintf options.dump_channel "// ----- IR after %s -----@." pass.pass_name;
         Printer.print_op ~out:options.dump_channel m'
       end;
       if options.verify_each then begin
+        (* the verifier's per-op checkers may raise more than
+           Verification_error (e.g. Invalid_argument on a malformed
+           attribute); attribute those to the pass as well *)
         try Verifier.verify m'
-        with Verifier.Verification_error _ as e -> raise (Pass_failed (pass.pass_name, e))
+        with e -> raise (Pass_failed (pass.pass_name, e))
       end;
       m')
     m passes

@@ -39,12 +39,14 @@ type measurement = {
 
 let proxy_extent = 6
 
-(** Simulate the compiled program for [iters] timesteps on a proxy grid;
-    returns elapsed cycles and aggregate stats. *)
-let simulate_iters ?(pipeline_options = Wsc_core.Pipeline.default_options)
-    (d : B.descr) ~(machine : Machine.t) ~(iters : int) :
-    float * Wsc_wse.Fabric.pe_stats * int =
-  let size = B.Proxy (proxy_extent, proxy_extent) in
+(** Simulate the compiled program for [iters] timesteps on a proxy grid
+    of [extent]x[extent] PEs with the benchmark's real z extent; returns
+    the host handle after completion plus the chunk count the compiler
+    chose.  Exposed (with [driver]) for the scheduler microbenchmark. *)
+let simulate_proxy ?(pipeline_options = Wsc_core.Pipeline.default_options)
+    ?driver ?(extent = proxy_extent) (d : B.descr) ~(machine : Machine.t)
+    ~(iters : int) : Wsc_wse.Host.t * int =
+  let size = B.Proxy (extent, extent) in
   let p = d.make_n size iters in
   let m = Wsc_core.Pipeline.compile ~options:pipeline_options (P.compile p) in
   let ft = P.field_type p in
@@ -56,7 +58,7 @@ let simulate_iters ?(pipeline_options = Wsc_core.Pipeline.default_options)
         I.retensorize_grid g3)
       p.P.state
   in
-  let h = Wsc_wse.Host.simulate machine m init in
+  let h = Wsc_wse.Host.simulate ?driver machine m init in
   let _, program = Wsc_core.Pipeline.modules_of m in
   let chunks =
     match Wsc_ir.Ir.find_op_by_name "csl_stencil.apply" m with
@@ -79,17 +81,27 @@ let simulate_iters ?(pipeline_options = Wsc_core.Pipeline.default_options)
             | _ -> 1)
         | None -> 1)
   in
+  (h, chunks)
+
+(** Simulate for [iters] timesteps on the default proxy grid; returns
+    elapsed cycles and aggregate stats. *)
+let simulate_iters ?pipeline_options ?driver (d : B.descr)
+    ~(machine : Machine.t) ~(iters : int) :
+    float * Wsc_wse.Fabric.pe_stats * int =
+  let h, chunks = simulate_proxy ?pipeline_options ?driver d ~machine ~iters in
   (Wsc_wse.Fabric.elapsed_cycles h.sim, Wsc_wse.Fabric.total_stats h.sim, chunks)
 
 (** Steady-state measurement via two runs. *)
-let measure ?(pipeline_options = Wsc_core.Pipeline.default_options)
+let measure ?(pipeline_options = Wsc_core.Pipeline.default_options) ?driver
     ~(machine : Machine.t) ~(size : B.size) (d : B.descr) : measurement =
   let nx, ny = B.xy_extents size in
   let nz = match size with B.Tiny -> 6 | _ -> d.z_extent in
   let iterations = d.default_iterations in
   let i1 = 2 and i2 = 4 in
-  let c1, _, _ = simulate_iters ~pipeline_options d ~machine ~iters:i1 in
-  let c2, stats2, chunks = simulate_iters ~pipeline_options d ~machine ~iters:i2 in
+  let c1, _, _ = simulate_iters ~pipeline_options ?driver d ~machine ~iters:i1 in
+  let c2, stats2, chunks =
+    simulate_iters ~pipeline_options ?driver d ~machine ~iters:i2
+  in
   let cycles_per_iter = (c2 -. c1) /. float_of_int (i2 - i1) in
   (* handle single-shot benchmarks (UVKBE): startup-inclusive cost *)
   let cycles_per_iter =

@@ -30,8 +30,21 @@ type measurement = {
 (** Extent of the square proxy grid the measurement simulates. *)
 val proxy_extent : int
 
+(** Compile and simulate [iters] timesteps of a benchmark on an
+    [extent]x[extent] proxy grid (default {!proxy_extent}) with the real
+    z extent, under the chosen fabric driver; returns the finished host
+    handle and the chunk count the compiler chose.  This is the
+    proxy-grid driver behind {!measure}, exposed for the scheduler
+    microbenchmark. *)
+val simulate_proxy :
+  ?pipeline_options:Wsc_core.Pipeline.options ->
+  ?driver:Wsc_wse.Fabric.driver ->
+  ?extent:int ->
+  B.descr -> machine:Machine.t -> iters:int -> Wsc_wse.Host.t * int
+
 val measure :
   ?pipeline_options:Wsc_core.Pipeline.options ->
+  ?driver:Wsc_wse.Fabric.driver ->
   machine:Machine.t -> size:B.size -> B.descr -> measurement
 
 val pp_measurement : Format.formatter -> measurement -> unit

@@ -158,6 +158,78 @@ type pe = {
   stats : pe_stats;
 }
 
+(** {1 Scheduler core}
+
+    The event-driven driver keeps a FIFO ready queue of PE coordinates
+    plus per-send wake lists: a PE blocked on a neighbour exchange is
+    parked on the key of the first sender that has not yet registered,
+    and is re-enqueued exactly when that [register_send] lands, instead
+    of being re-polled every round over the whole grid.  Counters let
+    the benchmark harness compare the two drivers. *)
+
+module Sched = struct
+  (** A pending send: (apply_id, seq, sender x, sender y) — the same key
+      as the simulator's send table. *)
+  type key = int * int * int * int
+
+  type stats = {
+    mutable scans : int;  (** PE visits by the driver ([step_pe] calls) *)
+    mutable probes : int;  (** finished-flag probes by quiescence sweeps *)
+    mutable wakeups : int;  (** parked PEs re-enqueued by a landing send *)
+    mutable parks : int;  (** times a PE was parked on a wake list *)
+    mutable max_queue_depth : int;  (** high-water mark of the ready queue *)
+  }
+
+  type t = {
+    stats : stats;
+    ready : (int * int) Queue.t;  (** PE coordinates awaiting a step *)
+    enqueued : (int * int, unit) Hashtbl.t;  (** members of [ready] *)
+    waiters : (key, (int * int) list) Hashtbl.t;  (** per-send wake lists *)
+  }
+
+  let create () =
+    {
+      stats = { scans = 0; probes = 0; wakeups = 0; parks = 0; max_queue_depth = 0 };
+      ready = Queue.create ();
+      enqueued = Hashtbl.create 64;
+      waiters = Hashtbl.create 64;
+    }
+
+  let stats (s : t) = s.stats
+
+  let enqueue (s : t) (coord : int * int) : unit =
+    if not (Hashtbl.mem s.enqueued coord) then begin
+      Hashtbl.replace s.enqueued coord ();
+      Queue.push coord s.ready;
+      let d = Queue.length s.ready in
+      if d > s.stats.max_queue_depth then s.stats.max_queue_depth <- d
+    end
+
+  let pop (s : t) : (int * int) option =
+    match Queue.pop s.ready with
+    | coord ->
+        Hashtbl.remove s.enqueued coord;
+        Some coord
+    | exception Queue.Empty -> None
+
+  let park (s : t) (k : key) (coord : int * int) : unit =
+    s.stats.parks <- s.stats.parks + 1;
+    let cur = Option.value (Hashtbl.find_opt s.waiters k) ~default:[] in
+    Hashtbl.replace s.waiters k (coord :: cur)
+
+  (** A send landed: wake every PE parked on its key. *)
+  let notify (s : t) (k : key) : unit =
+    match Hashtbl.find_opt s.waiters k with
+    | None -> ()
+    | Some coords ->
+        Hashtbl.remove s.waiters k;
+        List.iter
+          (fun c ->
+            s.stats.wakeups <- s.stats.wakeups + 1;
+            enqueue s c)
+          coords
+end
+
 (** {1 Simulator} *)
 
 type t = {
@@ -175,6 +247,7 @@ type t = {
   z_halo : int;
   zfull : int;
   nz : int;
+  sched : Sched.t;
 }
 
 let new_pe (program : op) x y : pe =
@@ -266,6 +339,7 @@ let create (machine : Machine.t) (program : op) : t =
     z_halo = int_attr_exn program "z_halo";
     zfull = int_attr_exn program "zfull";
     nz = int_attr_exn program "nz";
+    sched = Sched.create ();
   }
 
 (** {1 csl-op execution on one PE} *)
@@ -510,7 +584,9 @@ let register_send (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) : unit =
      chunk only; the rest stream out asynchronously *)
   pe.clock <- pe.clock +. chunk_cost;
   Hashtbl.replace sim.sends (cfg.apply_id, seq, pe.px, pe.py)
-    { sr_chunk_ready = ready; sr_data = data }
+    { sr_chunk_ready = ready; sr_data = data };
+  (* wake any neighbour parked on this send *)
+  Sched.notify sim.sched (cfg.apply_id, seq, pe.px, pe.py)
 
 (** State slot a communicated input corresponds to, for boundary-column
     lookup: the Dirichlet halo is the initial value of that logical grid. *)
@@ -672,11 +748,21 @@ and start_exchange (sim : t) (pe : pe) (cfg : comm_cfg) : unit =
 
 (** {1 Driver} *)
 
-(** Run queued tasks; returns true if anything executed. *)
+(** Run one queued task; returns true if anything executed.  The hardware
+    scheduler dispatches the earliest-activated task, not the most
+    recently queued one, so pop the entry with the smallest activation
+    timestamp (ties resolve in insertion order). *)
 let run_tasks (sim : t) (pe : pe) : bool =
   match pe.task_queue with
   | [] -> false
-  | (t, name) :: rest ->
+  | q ->
+      let earliest = List.fold_left (fun acc (t, _) -> Float.min acc t) infinity q in
+      let rec extract acc = function
+        | (t, name) :: rest when t = earliest -> ((t, name), List.rev_append acc rest)
+        | e :: rest -> extract (e :: acc) rest
+        | [] -> assert false
+      in
+      let (t, name), rest = extract [] q in
       pe.task_queue <- rest;
       pe.clock <- Float.max pe.clock t;
       let comms = exec_func sim pe name [] in
@@ -718,23 +804,182 @@ let launch (sim : t) : unit =
         col)
     sim.pes
 
-(** Drive until every PE unblocks the command stream. *)
-let run_to_completion ?(max_rounds = 1_000_000) (sim : t) : unit =
-  launch sim;
+(** {2 Deadlock diagnostics} *)
+
+(** In-grid senders of [w] that have not registered their send yet. *)
+let missing_senders (sim : t) (pe : pe) (w : waiting) : (int * int) list =
+  let missing = ref [] in
+  List.iter
+    (fun inp ->
+      List.iter
+        (fun (sw : Dmp.swap_desc) ->
+          let vx, vy = dir_vector sw.dir in
+          for d = 1 to sw.depth do
+            let sx = pe.px + (vx * d) and sy = pe.py + (vy * d) in
+            if
+              in_grid sim sx sy
+              && (not (Hashtbl.mem sim.sends (w.w_cfg.apply_id, w.w_seq, sx, sy)))
+              && not (List.mem (sx, sy) !missing)
+            then missing := (sx, sy) :: !missing
+          done)
+        inp.swaps)
+    w.w_cfg.inputs;
+  List.rev !missing
+
+(** Quiescence sweep; probes finished flags until the first unfinished
+    PE, counting each probe — the polling driver pays this sweep every
+    round, the event-driven driver only at the very end. *)
+let all_done (sim : t) : bool =
+  let st = sim.sched.Sched.stats in
+  let done_ = ref true in
+  (try
+     Array.iter
+       (fun col ->
+         Array.iter
+           (fun pe ->
+             st.probes <- st.probes + 1;
+             if not pe.finished then begin
+               done_ := false;
+               raise Exit
+             end)
+           col)
+       sim.pes
+   with Exit -> ());
+  !done_
+
+(** Per-PE report of who is stuck on what: blocked PEs with their
+    exchange id and the neighbours that never sent, plus PEs that are
+    idle with no runnable work.  Capped so a wafer-scale deadlock does
+    not produce a megabyte of text. *)
+let deadlock_report (sim : t) : string =
+  let max_detail = 16 in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "deadlock: no PE can progress\n";
+  let blocked = ref 0 and idle = ref 0 in
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun pe ->
+          if not pe.finished then
+            match pe.waiting with
+            | Some w ->
+                incr blocked;
+                if !blocked <= max_detail then begin
+                  let miss = missing_senders sim pe w in
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "  PE(%d,%d) blocked on exchange (apply_id=%d, seq=%d): \
+                        missing sender%s %s\n"
+                       pe.px pe.py w.w_cfg.apply_id w.w_seq
+                       (if List.length miss = 1 then "" else "s")
+                       (if miss = [] then "<none: exchange ready but unscheduled>"
+                        else
+                          String.concat ", "
+                            (List.map
+                               (fun (x, y) -> Printf.sprintf "PE(%d,%d)" x y)
+                               miss)))
+                end
+            | None ->
+                incr idle;
+                if !idle <= max_detail then
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "  PE(%d,%d) idle: not finished but has no queued task or \
+                        pending exchange\n"
+                       pe.px pe.py))
+        col)
+    sim.pes;
+  if !blocked > max_detail then
+    Buffer.add_string buf
+      (Printf.sprintf "  ... and %d more blocked PEs\n" (!blocked - max_detail));
+  if !idle > max_detail then
+    Buffer.add_string buf
+      (Printf.sprintf "  ... and %d more idle PEs\n" (!idle - max_detail));
+  Buffer.add_string buf
+    (Printf.sprintf "  total: %d blocked, %d idle, of %dx%d PEs" !blocked !idle
+       sim.width sim.height);
+  Buffer.contents buf
+
+(** {2 Drivers} *)
+
+type driver = Polling | Event_driven
+
+(** The seed driver: rescan every PE of the grid each round until no PE
+    makes progress.  Kept for scheduler-equivalence testing and the
+    [sched] microbenchmark; the event-driven driver below is the default. *)
+let run_polling ~(max_rounds : int) (sim : t) : unit =
   let rounds = ref 0 in
-  let all_done () =
-    Array.for_all (fun col -> Array.for_all (fun pe -> pe.finished) col) sim.pes
-  in
   let any = ref true in
-  while (not (all_done ())) && !any do
+  while (not (all_done sim)) && !any do
     incr rounds;
     if !rounds > max_rounds then fail "simulation did not converge";
     any := false;
     Array.iter
-      (fun col -> Array.iter (fun pe -> if step_pe sim pe then any := true) col)
+      (fun col ->
+        Array.iter
+          (fun pe ->
+            sim.sched.Sched.stats.scans <- sim.sched.Sched.stats.scans + 1;
+            if step_pe sim pe then any := true)
+          col)
       sim.pes
   done;
-  if not (all_done ()) then fail "deadlock: no PE can progress"
+  if not (all_done sim) then raise (Sim_error (deadlock_report sim))
+
+(** Event-driven driver: pop runnable PEs off the ready queue; a PE that
+    blocks on an exchange parks on the wake list of its first missing
+    sender and is re-enqueued by that sender's [register_send] (see
+    {!Sched}).  Execution order differs from the polling driver but
+    per-PE results are identical: a PE's behaviour depends only on its
+    own state and on send records, which are immutable once registered. *)
+let run_event ~(max_rounds : int) (sim : t) : unit =
+  let s = sim.sched in
+  (* same divergence guard as the polling driver: it allowed up to
+     [max_rounds] whole-grid rescans *)
+  let budget = max_rounds * sim.width * sim.height in
+  Array.iter
+    (fun col -> Array.iter (fun pe -> Sched.enqueue s (pe.px, pe.py)) col)
+    sim.pes;
+  let rec loop () =
+    match Sched.pop s with
+    | None -> ()
+    | Some (x, y) ->
+        let pe = sim.pes.(x).(y) in
+        s.Sched.stats.scans <- s.Sched.stats.scans + 1;
+        if s.Sched.stats.scans > budget then fail "simulation did not converge";
+        ignore (step_pe sim pe);
+        if not pe.finished then begin
+          match pe.waiting with
+          | Some w -> (
+              match missing_senders sim pe w with
+              | (sx, sy) :: _ ->
+                  Sched.park s (w.w_cfg.apply_id, w.w_seq, sx, sy) (x, y)
+              | [] ->
+                  (* all senders landed between the readiness check and
+                     here; cannot normally happen, but never strand it *)
+                  Sched.enqueue s (x, y))
+          | None ->
+              (* no pending exchange: runnable iff tasks remain (step_pe
+                 drains them, so this is defensive); otherwise the PE is
+                 terminally idle and is diagnosed at the end *)
+              if pe.task_queue <> [] then Sched.enqueue s (x, y)
+        end;
+        loop ()
+  in
+  loop ();
+  if not (all_done sim) then raise (Sim_error (deadlock_report sim))
+
+(** Drive until every PE unblocks the command stream. *)
+let run_to_completion ?max_rounds ?(driver = Event_driven) (sim : t) : unit =
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> sim.machine.sim_max_rounds
+  in
+  launch sim;
+  match driver with
+  | Polling -> run_polling ~max_rounds sim
+  | Event_driven -> run_event ~max_rounds sim
+
+(** Scheduler counters of the last run. *)
+let sched_stats (sim : t) : Sched.stats = Sched.stats sim.sched
 
 (** Wall-clock of the slowest PE, in cycles and seconds. *)
 let elapsed_cycles (sim : t) : float =

@@ -36,6 +36,28 @@ type pe_stats = {
   mutable mem_bytes : float;  (** SRAM traffic of the DSD builtins *)
 }
 
+(** Event-driven scheduler: a ready queue of runnable PEs plus per-send
+    wake lists, so a PE blocked on a neighbour exchange is woken exactly
+    when the matching send registers instead of being re-polled every
+    round.  Counters feed the [sched] microbenchmark. *)
+module Sched : sig
+  (** A pending send: (apply_id, seq, sender x, sender y). *)
+  type key = int * int * int * int
+
+  type stats = {
+    mutable scans : int;  (** PE visits by the driver ([step_pe] calls) *)
+    mutable probes : int;  (** finished-flag probes by quiescence sweeps *)
+    mutable wakeups : int;  (** parked PEs re-enqueued by a landing send *)
+    mutable parks : int;  (** times a PE was parked on a wake list *)
+    mutable max_queue_depth : int;  (** ready-queue high-water mark *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val stats : t -> stats
+end
+
 type pe = {
   px : int;
   py : int;
@@ -66,6 +88,7 @@ type t = {
   z_halo : int;
   zfull : int;
   nz : int;
+  sched : Sched.t;
 }
 
 and send_record
@@ -84,10 +107,29 @@ val in_grid : t -> int -> int -> bool
 (** The buffer a pointer global of a PE currently targets. *)
 val deref : pe -> string -> float array
 
+(** Run one queued task of a PE — the entry with the earliest activation
+    timestamp, as the hardware scheduler would dispatch it.  Returns
+    false when the queue is empty.  Exposed for scheduler tests. *)
+val run_tasks : t -> pe -> bool
+
+(** How {!run_to_completion} drives the grid: [Polling] is the seed
+    driver (rescan every PE each round); [Event_driven] (the default) is
+    the ready-queue/wake-list scheduler.  Elapsed cycles and per-PE
+    statistics are bit-identical between the two — a PE's behaviour
+    depends only on its own state and on immutable send records. *)
+type driver = Polling | Event_driven
+
 (** Start the program on every PE and drive the dependency-directed
     scheduler until every PE has unblocked the command stream.
-    @raise Sim_error on deadlock or divergence. *)
-val run_to_completion : ?max_rounds:int -> t -> unit
+    [max_rounds] defaults to the machine's [sim_max_rounds].
+    @raise Sim_error on divergence, or on deadlock with a report of
+    which PEs are blocked, on which (apply_id, seq) exchange, and which
+    neighbour never sent. *)
+val run_to_completion : ?max_rounds:int -> ?driver:driver -> t -> unit
+
+(** Scheduler counters of the last run (scans, wakeups, parks, queue
+    depth); the polling driver only advances [scans]. *)
+val sched_stats : t -> Sched.stats
 
 (** Wall-clock of the slowest PE. *)
 val elapsed_cycles : t -> float

@@ -68,7 +68,7 @@ let load (machine : Machine.t) (program : op) (init_grids : I.grid list) : t =
   { sim; program; init_grids; result_ptrs }
 
 (** Run the device program to completion. *)
-let run (h : t) : unit = Fabric.run_to_completion h.sim
+let run ?driver (h : t) : unit = Fabric.run_to_completion ?driver h.sim
 
 (** Read state grid [j] back: interior columns from the PEs (through the
     final pointer assignment), halo columns unchanged from the initial
@@ -93,8 +93,9 @@ let read_all (h : t) : I.grid list =
 
 (** Simulate a compiled program on freshly initialized grids; returns the
     host handle after completion. *)
-let simulate (machine : Machine.t) (compiled : op) (init_grids : I.grid list) : t =
+let simulate ?driver (machine : Machine.t) (compiled : op) (init_grids : I.grid list)
+    : t =
   let _, program = Wsc_core.Pipeline.modules_of compiled in
   let h = load machine program init_grids in
-  run h;
+  run ?driver h;
   h

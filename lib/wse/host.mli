@@ -19,8 +19,9 @@ val load :
   Machine.t -> Wsc_ir.Ir.op -> Wsc_dialects.Interp.grid list -> t
 
 (** Run the device program to completion (host calls the exported
-    [run]). *)
-val run : t -> unit
+    [run]); [driver] selects the fabric scheduler (default
+    event-driven). *)
+val run : ?driver:Fabric.driver -> t -> unit
 
 (** Read state grid [j] back: interior columns from the PEs through the
     final pointer assignment, halo columns unchanged. *)
@@ -31,4 +32,5 @@ val read_all : t -> Wsc_dialects.Interp.grid list
 (** [simulate machine compiled grids] — extract the program module from a
     compiled result, load, and run to completion. *)
 val simulate :
+  ?driver:Fabric.driver ->
   Machine.t -> Wsc_ir.Ir.op -> Wsc_dialects.Interp.grid list -> t

@@ -30,6 +30,10 @@ type t = {
   task_activate_cycles : int;  (** hardware task scheduling overhead *)
   call_cycles : int;  (** function call overhead *)
   flops_per_pe_per_cycle : float;  (** peak: one f32 FMA per cycle *)
+  sim_max_rounds : int;
+      (** simulator divergence guard: max whole-grid scan rounds (or the
+          per-PE-scan equivalent for the event-driven driver) before the
+          run is declared non-converging *)
 }
 
 let wse2 : t =
@@ -49,6 +53,7 @@ let wse2 : t =
     task_activate_cycles = 60;
     call_cycles = 10;
     flops_per_pe_per_cycle = 2.0;
+    sim_max_rounds = 1_000_000;
   }
 
 let wse3 : t =

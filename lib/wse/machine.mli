@@ -20,6 +20,9 @@ type t = {
   task_activate_cycles : int;
   call_cycles : int;
   flops_per_pe_per_cycle : float;  (** peak: one f32 FMA per cycle *)
+  sim_max_rounds : int;
+      (** simulator divergence guard: max whole-grid scan rounds before a
+          run is declared non-converging *)
 }
 
 val wse2 : t

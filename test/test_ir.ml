@@ -193,6 +193,37 @@ let test_parse_errors () =
       | _ -> Alcotest.failf "expected parse error for %S" s)
     bad
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_parse_count_mismatch_named () =
+  (* an operand/type count mismatch must be a proper parse error naming
+     the op and its source line, not a bare Invalid_argument from the
+     zipping List.map2 *)
+  let cases =
+    [
+      ( "// leading comment\n\"test.op\"(%a, %b) : (f32) -> ()",
+        [ "test.op"; "line 2"; "2 operands but 1" ] );
+      ( "\"test.res\"() : () -> (f32, f32)",
+        [ "test.res"; "line 1"; "result" ] );
+    ]
+  in
+  List.iter
+    (fun (s, needles) ->
+      match Parser.parse_string s with
+      | exception Parser.Parse_error msg ->
+          List.iter
+            (fun needle ->
+              if not (contains msg needle) then
+                Alcotest.failf "error %S does not mention %S" msg needle)
+            needles
+      | exception e ->
+          Alcotest.failf "expected Parse_error, got %s" (Printexc.to_string e)
+      | _ -> Alcotest.failf "expected parse error for %S" s)
+    cases
+
 let test_parse_attrs_roundtrip () =
   let attrs =
     [
@@ -284,6 +315,39 @@ let test_pipeline_verifies () =
   | exception Wsc_ir.Pass.Pass_failed ("break", _) -> ()
   | _ -> Alcotest.fail "expected Pass_failed"
 
+let test_pipeline_wraps_any_exception () =
+  (* every exception escaping a pass must be attributed to it, not just
+     verifier errors; the original exception rides along as payload *)
+  let boom =
+    [
+      ("boom-failure", fun _ -> failwith "kaboom");
+      ("boom-not-found", fun _ -> raise Not_found);
+      ("boom-invalid", fun _ -> invalid_arg "List.map2");
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let pass = Wsc_ir.Pass.make name f in
+      match Wsc_ir.Pass.run_pipeline [ pass ] (simple_module ()) with
+      | exception Wsc_ir.Pass.Pass_failed (n, _) ->
+          check_str "failing pass named" name n
+      | exception e ->
+          Alcotest.failf "expected Pass_failed, got %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected Pass_failed")
+    boom;
+  (* a Pass_failed from a nested pipeline keeps its original attribution *)
+  let nested =
+    Wsc_ir.Pass.make "outer" (fun m ->
+        Wsc_ir.Pass.run_pipeline
+          [ Wsc_ir.Pass.make "inner" (fun _ -> failwith "deep") ]
+          m)
+  in
+  match Wsc_ir.Pass.run_pipeline [ nested ] (simple_module ()) with
+  | exception Wsc_ir.Pass.Pass_failed ("inner", _) -> ()
+  | exception Wsc_ir.Pass.Pass_failed (n, _) ->
+      Alcotest.failf "attributed to %S, expected the inner pass" n
+  | _ -> Alcotest.fail "expected Pass_failed"
+
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -317,6 +381,8 @@ let () =
           Alcotest.test_case "types" `Quick test_parse_types;
           Alcotest.test_case "attrs" `Quick test_parse_attrs_roundtrip;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "count mismatch named" `Quick
+            test_parse_count_mismatch_named;
         ] );
       ( "verifier",
         [
@@ -330,6 +396,8 @@ let () =
         [
           Alcotest.test_case "pipeline order" `Quick test_pipeline_runs_in_order;
           Alcotest.test_case "pipeline verifies" `Quick test_pipeline_verifies;
+          Alcotest.test_case "pipeline wraps exceptions" `Quick
+            test_pipeline_wraps_any_exception;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
     ]

@@ -223,6 +223,115 @@ let test_task_activations_positive () =
   check "memory traffic" true (stats.mem_bytes > 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* scheduler: driver equivalence, deadlock diagnostics, task order     *)
+(* ------------------------------------------------------------------ *)
+
+let stats_tuple (s : Fabric.pe_stats) =
+  ( s.compute_cycles,
+    s.send_cycles,
+    s.wait_cycles,
+    s.task_activations,
+    s.flops,
+    s.elems_sent,
+    s.elems_drained,
+    s.mem_bytes )
+
+(* run one benchmark under a given driver and return everything the
+   equivalence check compares; the host handle stays local so the PE
+   grid is collectable between runs *)
+let run_with_driver driver (p : P.t) =
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let h = Host.simulate ~driver Machine.wse3 compiled (init_grids p) in
+  (Fabric.elapsed_cycles h.sim, stats_tuple (Fabric.total_stats h.sim), Host.read_all h)
+
+let assert_drivers_agree name (p : P.t) =
+  let cp, sp, op_ = run_with_driver Fabric.Polling p in
+  let ce, se, oe = run_with_driver Fabric.Event_driven p in
+  check (name ^ ": elapsed cycles bit-identical") true (cp = ce);
+  check (name ^ ": aggregated pe_stats bit-identical") true (sp = se);
+  let maxd =
+    List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff op_ oe)
+  in
+  check (name ^ ": outputs bit-identical") true (maxd = 0.0)
+
+let test_driver_equivalence_tiny () =
+  List.iter
+    (fun (d : B.descr) -> assert_drivers_agree (d.id ^ " tiny") (d.make B.Tiny))
+    B.all
+
+let test_driver_equivalence_small () =
+  List.iter
+    (fun (d : B.descr) ->
+      assert_drivers_agree (d.id ^ " small") (d.make_n B.Small 2))
+    B.all
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_deadlock_diagnostic () =
+  let p = (B.find "jacobian").make B.Tiny in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let _, program = Core.Pipeline.modules_of compiled in
+  List.iter
+    (fun driver ->
+      let h = Host.load Machine.wse3 program (init_grids p) in
+      (* silence PE(1,0): convince its iteration counter it has already
+         run every timestep, so it unblocks immediately and never sends;
+         its neighbours then starve waiting on the first exchange *)
+      Hashtbl.find h.Host.sim.Fabric.pes.(1).(0).Fabric.scalars "iteration" := 1000;
+      match Fabric.run_to_completion ~driver h.Host.sim with
+      | () -> Alcotest.fail "expected a deadlock"
+      | exception Fabric.Sim_error msg ->
+          check "report names the condition" true (contains msg "deadlock");
+          check "report names the exchange" true
+            (contains msg "blocked on exchange (apply_id=");
+          check "report names the silent sender" true
+            (contains msg "missing sender PE(1,0)"))
+    [ Fabric.Polling; Fabric.Event_driven ]
+
+let test_task_order_earliest_first () =
+  (* regression for the dispatch-order bug: the hardware scheduler runs
+     the queued task with the earliest activation time, not the one that
+     was queued first *)
+  let module Csl = Core.Csl in
+  let module Bld = Wsc_ir.Builder in
+  let open Wsc_ir.Ir in
+  let module Arith = Wsc_dialects.Arith in
+  let b = Bld.create () in
+  Bld.insert0 b (Csl.global_scalar ~name:"mark" ~typ:I32 ~init:(Int_attr 0));
+  let mark_task name id v =
+    Bld.insert0 b
+      (Csl.task ~name ~kind:Csl.Local_task ~id (fun tb ->
+           let c = Bld.insert tb (Arith.constant_i v) in
+           Bld.insert0 tb (Csl.store_scalar ~name:"mark" c);
+           Bld.insert0 tb (Csl.return_ ())))
+  in
+  mark_task "early" 1 7;
+  mark_task "late" 2 8;
+  let program = Csl.module_ ~kind:Csl.Program ~name:"task_order" (Bld.ops b) in
+  List.iter
+    (fun (k, v) -> set_attr program k (Int_attr v))
+    [
+      ("width", 1); ("height", 1); ("memory_bytes", 64);
+      ("z_halo", 0); ("zfull", 1); ("nz", 1);
+    ];
+  let sim = Fabric.create Machine.wse3 program in
+  let pe = sim.Fabric.pes.(0).(0) in
+  let mark () = !(Hashtbl.find pe.Fabric.scalars "mark") in
+  (* two activations queued out of insertion order: "late" was inserted
+     first but activates at t=100, "early" second but activates at t=50 *)
+  pe.Fabric.task_queue <- [ (100.0, "late"); (50.0, "early") ];
+  check "first pop ran" true (Fabric.run_tasks sim pe);
+  check "earliest activation dispatched first" true (mark () = 7);
+  check "clock did not jump to the later activation" true (pe.Fabric.clock < 100.0);
+  check "second pop ran" true (Fabric.run_tasks sim pe);
+  check "later activation dispatched second" true (mark () = 8);
+  check "queue drained" true (pe.Fabric.task_queue = []);
+  check "empty queue pops nothing" true (not (Fabric.run_tasks sim pe))
+
+(* ------------------------------------------------------------------ *)
 (* custom initial data (host interface)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -265,6 +374,16 @@ let () =
           Alcotest.test_case "flop accounting" `Quick test_flops_match_expectation;
           Alcotest.test_case "self-send cost" `Quick test_wse2_sends_cost_more;
           Alcotest.test_case "stats positive" `Quick test_task_activations_positive;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "driver equivalence (tiny)" `Quick
+            test_driver_equivalence_tiny;
+          Alcotest.test_case "driver equivalence (small)" `Slow
+            test_driver_equivalence_small;
+          Alcotest.test_case "deadlock diagnostic" `Quick test_deadlock_diagnostic;
+          Alcotest.test_case "earliest activation first" `Quick
+            test_task_order_earliest_first;
         ] );
       ( "host",
         [ Alcotest.test_case "custom initial data" `Quick test_custom_initial_data ] );
