@@ -3,7 +3,8 @@
 
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- one experiment
-     experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations micro
+     experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations weak sched
+                  trace micro
 
    Absolute numbers come from the fabric simulator and the calibrated
    machine models (see DESIGN.md); the claims under reproduction are the
@@ -14,6 +15,20 @@ module B = Wsc_benchmarks.Benchmarks
 module P = Wsc_frontends.Stencil_program
 module WP = Wsc_perf.Wse_perf
 module Machine = Wsc_wse.Machine
+module F = Wsc_wse.Fabric
+
+(** Bit-level equality of aggregate PE stats: used by both the scheduler
+    and the tracing experiments to assert driver/instrumentation choices
+    never change simulation results. *)
+let stats_equal (a : F.pe_stats) (b : F.pe_stats) =
+  a.compute_cycles = b.compute_cycles
+  && a.send_cycles = b.send_cycles
+  && a.wait_cycles = b.wait_cycles
+  && a.task_activations = b.task_activations
+  && a.flops = b.flops
+  && a.elems_sent = b.elems_sent
+  && a.elems_drained = b.elems_drained
+  && a.mem_bytes = b.mem_bytes
 
 let header title =
   Printf.printf "\n==============================================================\n";
@@ -245,17 +260,6 @@ let sched () =
      Large size (proxy-grid runs with the real z extent, as used by every\n\
      Large measurement).  Bit-identity of elapsed cycles and aggregate\n\
      stats is checked on every benchmark.";
-  let module F = Wsc_wse.Fabric in
-  let stats_equal (a : F.pe_stats) (b : F.pe_stats) =
-    a.compute_cycles = b.compute_cycles
-    && a.send_cycles = b.send_cycles
-    && a.wait_cycles = b.wait_cycles
-    && a.task_activations = b.task_activations
-    && a.flops = b.flops
-    && a.elems_sent = b.elems_sent
-    && a.elems_drained = b.elems_drained
-    && a.mem_bytes = b.mem_bytes
-  in
   let extent = 16 and iters = 8 in
   Printf.printf "proxy grid %dx%d PEs, %d timesteps, WSE3\n" extent extent iters;
   Printf.printf
@@ -293,6 +297,82 @@ let sched () =
     Printf.printf "all benchmarks: elapsed cycles and total stats bit-identical\n"
   else begin
     Printf.printf "MISMATCH on %d benchmark(s)\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: collector overhead + simulated-vs-analytic deviation       *)
+(* ------------------------------------------------------------------ *)
+
+let trace_exp () =
+  header
+    "Tracing: event volume and collector overhead per benchmark (Tiny,\n\
+     both machines), with the simulated-vs-analytic deviation.  Elapsed\n\
+     cycles and aggregate stats must be bit-identical with tracing on\n\
+     and off.";
+  let module T = Wsc_trace.Trace in
+  let module I = Wsc_dialects.Interp in
+  Printf.printf "%-10s %-5s %8s %10s %10s %9s  %s\n" "benchmark" "mach" "events"
+    "plain ms" "traced ms" "cycles" "deviation";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (d : B.descr) ->
+      List.iter
+        (fun (machine : Machine.t) ->
+          let p = d.make B.Tiny in
+          let remarks = ref [] in
+          let pass_options =
+            {
+              Wsc_ir.Pass.default_options with
+              on_remark = Some (Wsc_trace.Remarks.collect remarks);
+            }
+          in
+          let m = Wsc_core.Pipeline.compile ~pass_options (P.compile p) in
+          let init () =
+            let ft = P.field_type p in
+            List.map
+              (fun _ ->
+                let g3 = I.grid_of_typ ft in
+                I.init_grid g3;
+                I.retensorize_grid g3)
+              p.P.state
+          in
+          let time f =
+            let t0 = Sys.time () in
+            let r = f () in
+            (r, (Sys.time () -. t0) *. 1e3)
+          in
+          let h_plain, plain_ms =
+            time (fun () -> Wsc_wse.Host.simulate machine m (init ()))
+          in
+          let sink = T.collector () in
+          let h_traced, traced_ms =
+            time (fun () -> Wsc_wse.Host.simulate ~trace:sink machine m (init ()))
+          in
+          Wsc_trace.Remarks.emit sink !remarks;
+          let cp = F.elapsed_cycles h_plain.sim
+          and ct = F.elapsed_cycles h_traced.sim in
+          let identical =
+            cp = ct
+            && stats_equal (F.total_stats h_plain.sim) (F.total_stats h_traced.sim)
+          in
+          if not identical then incr mismatches;
+          let predicted =
+            WP.predict_cycles d ~machine ~size:B.Tiny ~iterations:p.P.iterations
+          in
+          let dev =
+            Wsc_trace.Aggregate.deviation ~bench:d.id ~machine:machine.name
+              ~simulated_cycles:ct ~predicted_cycles:predicted
+          in
+          Printf.printf "%-10s %-5s %8d %10.2f %10.2f %9.0f  %+5.1f%%%s\n" d.id
+            machine.name (T.event_count sink) plain_ms traced_ms ct dev.dv_pct
+            (if identical then "" else "  NOT BIT-IDENTICAL"))
+        [ Machine.wse2; Machine.wse3 ])
+    B.all;
+  if !mismatches = 0 then
+    Printf.printf "\nall benchmarks: traced runs bit-identical to untraced runs\n"
+  else begin
+    Printf.printf "\nTRACING CHANGED RESULTS on %d run(s)\n" !mismatches;
     exit 1
   end
 
@@ -340,6 +420,7 @@ let experiments =
     ("ablations", ablations);
     ("weak", weak);
     ("sched", sched);
+    ("trace", trace_exp);
     ("micro", micro);
   ]
 

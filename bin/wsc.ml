@@ -5,6 +5,8 @@
       stencil-dialect IR file and write the generated CSL files;
     - [simulate]: compile and execute on the fabric simulator, checking
       the result against the sequential reference interpreter;
+    - [trace]: simulate with the event collector attached and export a
+      Chrome-trace JSON timeline plus profiling tables;
     - [perf]: report simulated throughput for a benchmark/machine/size;
     - [ir]: print the IR after a chosen pipeline stage. *)
 
@@ -12,21 +14,36 @@ open Cmdliner
 module B = Wsc_benchmarks.Benchmarks
 module P = Wsc_frontends.Stencil_program
 module I = Wsc_dialects.Interp
+module F = Wsc_wse.Fabric
+module T = Wsc_trace.Trace
 
-let program_of ~bench ~input ~size ~iterations : P.t option * Wsc_ir.Ir.op =
+let ( let* ) = Result.bind
+
+let program_of ~bench ~input ~size ~iterations :
+    (P.t option * Wsc_ir.Ir.op, [ `Msg of string ]) result =
   match (bench, input) with
-  | Some id, None ->
-      let d = B.find id in
-      let p =
-        match iterations with
-        | Some n -> d.make_n size n
-        | None -> d.make size
-      in
-      (Some p, P.compile p)
-  | None, Some file -> (None, Wsc_ir.Parser.parse_file file)
-  | _ -> invalid_arg "give exactly one of --bench or an input file"
+  | Some id, None -> (
+      match B.find id with
+      | exception Invalid_argument msg -> Error (`Msg msg)
+      | d ->
+          let p =
+            match iterations with
+            | Some n -> d.make_n size n
+            | None -> d.make size
+          in
+          Ok (Some p, P.compile p))
+  | None, Some file -> Ok (None, Wsc_ir.Parser.parse_file file)
+  | Some _, Some _ ->
+      Error (`Msg "give only one of --bench NAME or an input FILE, not both")
+  | None, None -> Error (`Msg "give exactly one of --bench NAME or an input FILE")
 
 let size_conv =
+  let bad s =
+    Error
+      (`Msg
+        (Printf.sprintf "bad size '%s': accepted sizes are tiny|small|medium|large|NxM"
+           s))
+  in
   let parse s =
     match s with
     | "tiny" -> Ok B.Tiny
@@ -38,8 +55,8 @@ let size_conv =
         | [ a; b ] -> (
             match (int_of_string_opt a, int_of_string_opt b) with
             | Some x, Some y -> Ok (B.Proxy (x, y))
-            | _ -> Error (`Msg ("bad size: " ^ s)))
-        | _ -> Error (`Msg ("bad size: " ^ s)))
+            | _ -> bad s)
+        | _ -> bad s)
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (B.size_to_string s))
 
@@ -88,11 +105,21 @@ let outdir_arg =
 
 let pipeline_options = Wsc_core.Pipeline.default_options
 
+(** Freshly initialized state grids for a frontend program. *)
+let init_grids_of (p : P.t) : I.grid list =
+  let ft = P.field_type p in
+  List.map
+    (fun _ ->
+      let g3 = I.grid_of_typ ft in
+      I.init_grid g3;
+      I.retensorize_grid g3)
+    p.P.state
+
 (* ---------------- compile ---------------- *)
 
 let compile_cmd =
   let run bench input size iterations outdir =
-    let _, m = program_of ~bench ~input ~size ~iterations in
+    let* _, m = program_of ~bench ~input ~size ~iterations in
     let compiled = Wsc_core.Pipeline.compile ~options:pipeline_options m in
     let files = Wsc_core.Csl_printer.print_files compiled in
     if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
@@ -103,32 +130,33 @@ let compile_cmd =
         output_string oc f.contents;
         close_out oc;
         Printf.printf "wrote %s (%d LoC)\n" path (Wsc_core.Csl_printer.loc_of f.contents))
-      files
+      files;
+    Ok ()
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile to CSL source files.")
-    Term.(const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ outdir_arg)
+    Term.(
+      term_result
+        (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ outdir_arg))
 
 (* ---------------- simulate ---------------- *)
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the scheduler counters and the per-PE busy/blocked summary \
+           after the run.")
+
 let simulate_cmd =
-  let run bench input size iterations machine =
-    let prog, m = program_of ~bench ~input ~size ~iterations in
+  let run bench input size iterations machine stats =
+    let* prog, m = program_of ~bench ~input ~size ~iterations in
     let compiled = Wsc_core.Pipeline.compile ~options:pipeline_options m in
     match prog with
-    | None ->
-        prerr_endline "simulate: reference check needs --bench";
-        exit 1
+    | None -> Error (`Msg "simulate: reference check needs --bench")
     | Some p ->
-        let ft = P.field_type p in
-        let init =
-          List.map
-            (fun _ ->
-              let g3 = I.grid_of_typ ft in
-              I.init_grid g3;
-              I.retensorize_grid g3)
-            p.P.state
-        in
+        let init = init_grids_of p in
         (* simulate first: the fabric guards (grid size, per-PE memory)
            reject oversized runs before the expensive reference pass *)
         let h = Wsc_wse.Host.simulate machine compiled init in
@@ -137,38 +165,124 @@ let simulate_cmd =
         let maxd =
           List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff ref_grids out)
         in
-        let stats = Wsc_wse.Fabric.total_stats h.sim in
+        let st = F.total_stats h.sim in
         Printf.printf "simulated %s on %s: %dx%d PEs, %.0f cycles (%.3f ms)\n"
           p.P.pname machine.name h.sim.width h.sim.height
-          (Wsc_wse.Fabric.elapsed_cycles h.sim)
-          (1e3 *. Wsc_wse.Fabric.elapsed_seconds h.sim);
-        Printf.printf "  flops=%.3e  sent=%d elems  tasks=%d\n" stats.flops
-          stats.elems_sent stats.task_activations;
-        Printf.printf "  max |difference| vs sequential reference: %.3e  -> %s\n" maxd
+          (F.elapsed_cycles h.sim)
+          (1e3 *. F.elapsed_seconds h.sim);
+        Printf.printf "  flops=%.3e  sent=%d elems  tasks=%d\n" st.flops
+          st.elems_sent st.task_activations;
+        if stats then begin
+          let k = F.sched_stats h.sim in
+          Printf.printf
+            "  scheduler: scans=%d probes=%d wakeups=%d parks=%d \
+             max_queue_depth=%d\n"
+            k.scans k.probes k.wakeups k.parks k.max_queue_depth;
+          print_string
+            (Wsc_trace.Aggregate.busy_blocked_table (F.pe_summaries h.sim))
+        end;
+        Printf.printf "  max |difference| vs sequential reference: %.3e  -> %s\n"
+          maxd
           (if maxd < 1e-4 then "MATCH" else "MISMATCH");
-        if maxd >= 1e-4 then exit 1
+        if maxd >= 1e-4 then exit 1;
+        Ok ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Compile, run on the fabric simulator, check against the reference.")
-    Term.(const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ machine_arg)
+    Term.(
+      term_result
+        (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ machine_arg
+       $ stats_arg))
+
+(* ---------------- trace ---------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Chrome-trace JSON output path (open with Perfetto or \
+           chrome://tracing).")
+
+let top_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "top" ] ~docv:"N" ~doc:"Hottest-PE rows in the busy/blocked table.")
+
+let trace_cmd =
+  let run bench input size iterations machine out top =
+    let* prog, m = program_of ~bench ~input ~size ~iterations in
+    match (prog, bench) with
+    | Some p, Some id ->
+        let remarks = ref [] in
+        let pass_options =
+          {
+            Wsc_ir.Pass.default_options with
+            on_remark = Some (Wsc_trace.Remarks.collect remarks);
+          }
+        in
+        let compiled =
+          Wsc_core.Pipeline.compile ~options:pipeline_options ~pass_options m
+        in
+        let sink = T.collector () in
+        let h = Wsc_wse.Host.simulate ~trace:sink machine compiled (init_grids_of p) in
+        Wsc_trace.Remarks.emit sink !remarks;
+        Wsc_trace.Chrome.write_file ~path:out sink;
+        let simulated = F.elapsed_cycles h.sim in
+        Printf.printf "traced %s on %s: %dx%d PEs, %.0f cycles, %d events -> %s\n\n"
+          p.P.pname machine.name h.sim.width h.sim.height simulated
+          (T.event_count sink) out;
+        print_string (Wsc_trace.Remarks.table !remarks);
+        print_newline ();
+        print_string
+          (Wsc_trace.Aggregate.busy_blocked_table ~top (F.pe_summaries h.sim));
+        print_newline ();
+        print_string (Wsc_trace.Aggregate.link_table (T.events sink));
+        print_newline ();
+        let predicted =
+          Wsc_perf.Wse_perf.predict_cycles ~pipeline_options (B.find id) ~machine
+            ~size ~iterations:p.P.iterations
+        in
+        print_endline
+          (Wsc_trace.Aggregate.deviation_line
+             (Wsc_trace.Aggregate.deviation ~bench:id ~machine:machine.name
+                ~simulated_cycles:simulated ~predicted_cycles:predicted));
+        Ok ()
+    | _ ->
+        Error
+          (`Msg
+            "trace: needs --bench (initial data and the analytic prediction \
+             come from the benchmark)")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate with the event collector attached; export a Perfetto \
+          timeline and print the pass-remarks, busy/blocked, link and \
+          deviation reports.")
+    Term.(
+      term_result
+        (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ machine_arg
+       $ trace_out_arg $ top_arg))
 
 (* ---------------- perf ---------------- *)
 
 let perf_cmd =
   let run bench size machine =
     match bench with
-    | None ->
-        prerr_endline "perf: --bench required";
-        exit 1
-    | Some id ->
-        let d = B.find id in
-        let r = Wsc_perf.Wse_perf.measure ~machine ~size d in
-        Format.printf "%a@." Wsc_perf.Wse_perf.pp_measurement r
+    | None -> Error (`Msg "perf: --bench required")
+    | Some id -> (
+        match B.find id with
+        | exception Invalid_argument msg -> Error (`Msg msg)
+        | d ->
+            let r = Wsc_perf.Wse_perf.measure ~machine ~size d in
+            Format.printf "%a@." Wsc_perf.Wse_perf.pp_measurement r;
+            Ok ())
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Report simulated throughput.")
-    Term.(const run $ bench_arg $ size_arg $ machine_arg)
+    Term.(term_result (const run $ bench_arg $ size_arg $ machine_arg))
 
 (* ---------------- ir ---------------- *)
 
@@ -181,32 +295,36 @@ let stage_arg =
 
 let ir_cmd =
   let run bench input size iterations stage =
-    let _, m = program_of ~bench ~input ~size ~iterations in
+    let* _, m = program_of ~bench ~input ~size ~iterations in
     Wsc_core.Csl_stencil_interp.register ();
     let o = pipeline_options in
-    let passes =
+    let* passes =
       match stage with
-      | "stencil" -> []
-      | "distributed" -> Wsc_core.Pipeline.frontend_passes o
+      | "stencil" -> Ok []
+      | "distributed" -> Ok (Wsc_core.Pipeline.frontend_passes o)
       | "prefetch" ->
-          Wsc_core.Pipeline.frontend_passes o
-          @ [ List.hd (Wsc_core.Pipeline.middle_passes o) ]
+          Ok
+            (Wsc_core.Pipeline.frontend_passes o
+            @ [ List.hd (Wsc_core.Pipeline.middle_passes o) ])
       | "csl-stencil" ->
-          Wsc_core.Pipeline.frontend_passes o
-          @ (Wsc_core.Pipeline.middle_passes o |> List.filteri (fun i _ -> i < 2))
+          Ok
+            (Wsc_core.Pipeline.frontend_passes o
+            @ (Wsc_core.Pipeline.middle_passes o |> List.filteri (fun i _ -> i < 2))
+            )
       | "bufferized" ->
-          Wsc_core.Pipeline.frontend_passes o @ Wsc_core.Pipeline.middle_passes o
-      | "csl" -> Wsc_core.Pipeline.passes o
-      | s ->
-          prerr_endline ("unknown stage " ^ s);
-          exit 1
+          Ok (Wsc_core.Pipeline.frontend_passes o @ Wsc_core.Pipeline.middle_passes o)
+      | "csl" -> Ok (Wsc_core.Pipeline.passes o)
+      | s -> Error (`Msg ("unknown stage " ^ s))
     in
     let m = Wsc_ir.Pass.run_pipeline passes m in
-    Wsc_ir.Printer.print_op m
+    Wsc_ir.Printer.print_op m;
+    Ok ()
   in
   Cmd.v
     (Cmd.info "ir" ~doc:"Print the IR after a pipeline stage.")
-    Term.(const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ stage_arg)
+    Term.(
+      term_result
+        (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ stage_arg))
 
 let () =
   let info =
@@ -216,7 +334,7 @@ let () =
   let rc =
     try
       Cmd.eval ~catch:false
-        (Cmd.group info [ compile_cmd; simulate_cmd; perf_cmd; ir_cmd ])
+        (Cmd.group info [ compile_cmd; simulate_cmd; trace_cmd; perf_cmd; ir_cmd ])
     with
     | Wsc_wse.Fabric.Sim_error msg
     | Wsc_wse.Host.Host_error msg

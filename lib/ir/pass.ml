@@ -17,14 +17,34 @@ let make_inplace name f =
       f m;
       m)
 
+(** What one pass did to the module: its cost in wall time and its
+    effect on IR size.  Fed to [options.on_remark] as each pass
+    finishes; the tracing layer renders these as the pass-remarks table
+    and as compiler-track spans in the exported trace. *)
+type remark = {
+  r_pass : string;
+  r_wall_s : float;  (** the pass's own run time, seconds *)
+  r_verify_s : float;  (** post-pass verifier time (0 when not verifying) *)
+  r_ops_before : int;  (** total ops in the module before the pass *)
+  r_ops_after : int;
+}
+
 type options = {
   verify_each : bool;  (** run the verifier after every pass *)
   dump_each : bool;  (** print the IR after every pass *)
   dump_channel : Format.formatter;
+  on_remark : (remark -> unit) option;
+      (** called after each pass (and its verification) completes; op
+          counting only happens when this is set *)
 }
 
 let default_options =
-  { verify_each = true; dump_each = false; dump_channel = Format.err_formatter }
+  {
+    verify_each = true;
+    dump_each = false;
+    dump_channel = Format.err_formatter;
+    on_remark = None;
+  }
 
 exception Pass_failed of string * exn
 
@@ -32,8 +52,11 @@ exception Pass_failed of string * exn
     verifier errors, [Invalid_argument], [Failure], [Not_found], … — is
     wrapped in [Pass_failed] so the failing pass is always named. *)
 let run_pipeline ?(options = default_options) (passes : t list) (m : op) : op =
+  let instrumented = options.on_remark <> None in
   List.fold_left
     (fun m pass ->
+      let ops_before = if instrumented then Stats.total_ops m else 0 in
+      let t0 = Unix.gettimeofday () in
       let m' =
         try pass.run m with
         | Pass_failed _ as e ->
@@ -41,6 +64,7 @@ let run_pipeline ?(options = default_options) (passes : t list) (m : op) : op =
             raise e
         | e -> raise (Pass_failed (pass.pass_name, e))
       in
+      let t1 = Unix.gettimeofday () in
       if options.dump_each then begin
         Format.fprintf options.dump_channel "// ----- IR after %s -----@." pass.pass_name;
         Printer.print_op ~out:options.dump_channel m'
@@ -52,6 +76,18 @@ let run_pipeline ?(options = default_options) (passes : t list) (m : op) : op =
         try Verifier.verify m'
         with e -> raise (Pass_failed (pass.pass_name, e))
       end;
+      (match options.on_remark with
+      | None -> ()
+      | Some f ->
+          let t2 = Unix.gettimeofday () in
+          f
+            {
+              r_pass = pass.pass_name;
+              r_wall_s = t1 -. t0;
+              r_verify_s = (if options.verify_each then t2 -. t1 else 0.0);
+              r_ops_before = ops_before;
+              r_ops_after = Stats.total_ops m';
+            });
       m')
     m passes
 

@@ -9,10 +9,23 @@ val make : string -> (Ir.op -> Ir.op) -> t
 (** [make_inplace name f] — a pass that mutates the module in place. *)
 val make_inplace : string -> (Ir.op -> unit) -> t
 
+(** What one pass did to the module: wall-time cost and IR-size effect.
+    Fed to [options.on_remark] as each pass finishes. *)
+type remark = {
+  r_pass : string;
+  r_wall_s : float;  (** the pass's own run time, seconds *)
+  r_verify_s : float;  (** post-pass verifier time (0 when not verifying) *)
+  r_ops_before : int;  (** total ops in the module before the pass *)
+  r_ops_after : int;
+}
+
 type options = {
   verify_each : bool;  (** run the verifier after every pass *)
   dump_each : bool;  (** print the IR after every pass *)
   dump_channel : Format.formatter;
+  on_remark : (remark -> unit) option;
+      (** called after each pass (and its verification) completes; op
+          counting only happens when this is set *)
 }
 
 val default_options : options

@@ -91,6 +91,37 @@ let simulate_iters ?pipeline_options ?driver (d : B.descr)
   let h, chunks = simulate_proxy ?pipeline_options ?driver d ~machine ~iters in
   (Wsc_wse.Fabric.elapsed_cycles h.sim, Wsc_wse.Fabric.total_stats h.sim, chunks)
 
+(** Analytic cycle prediction for a full run at [size]: steady-state
+    per-iteration cycles measured by two short runs of the same program
+    at the same size, scaled to [iterations].  Unlike {!measure} the
+    short runs use [size]'s own extents (including its z extent), so the
+    prediction is directly comparable with a simulation of that exact
+    grid — the basis of the trace deviation report. *)
+let predict_cycles ?(pipeline_options = Wsc_core.Pipeline.default_options)
+    ?driver (d : B.descr) ~(machine : Machine.t) ~(size : B.size)
+    ~(iterations : int) : float =
+  let run iters =
+    let p = d.make_n size iters in
+    let m = Wsc_core.Pipeline.compile ~options:pipeline_options (P.compile p) in
+    let ft = P.field_type p in
+    let init =
+      List.map
+        (fun _ ->
+          let g3 = I.grid_of_typ ft in
+          I.init_grid g3;
+          I.retensorize_grid g3)
+        p.P.state
+    in
+    let h = Wsc_wse.Host.simulate ?driver machine m init in
+    Wsc_wse.Fabric.elapsed_cycles h.sim
+  in
+  let i1 = 2 and i2 = 4 in
+  let c1 = run i1 in
+  if iterations <= 1 then c1 /. float_of_int i1
+  else
+    let c2 = run i2 in
+    (c2 -. c1) /. float_of_int (i2 - i1) *. float_of_int iterations
+
 (** Steady-state measurement via two runs. *)
 let measure ?(pipeline_options = Wsc_core.Pipeline.default_options) ?driver
     ~(machine : Machine.t) ~(size : B.size) (d : B.descr) : measurement =

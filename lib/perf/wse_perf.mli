@@ -42,6 +42,15 @@ val simulate_proxy :
   ?extent:int ->
   B.descr -> machine:Machine.t -> iters:int -> Wsc_wse.Host.t * int
 
+(** Steady-state cycle prediction for [iterations] timesteps at [size]:
+    two short runs at the same size (so the same z extent), per-iteration
+    delta, scaled.  Comparable with a full simulation of that exact grid;
+    feeds the trace deviation report. *)
+val predict_cycles :
+  ?pipeline_options:Wsc_core.Pipeline.options ->
+  ?driver:Wsc_wse.Fabric.driver ->
+  B.descr -> machine:Machine.t -> size:B.size -> iterations:int -> float
+
 val measure :
   ?pipeline_options:Wsc_core.Pipeline.options ->
   ?driver:Wsc_wse.Fabric.driver ->

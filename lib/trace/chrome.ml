@@ -1,0 +1,105 @@
+(** Chrome Trace Event exporter.
+
+    Renders a collected trace as the JSON Array / Object format consumed
+    by Perfetto ([ui.perfetto.dev]) and chrome://tracing: one top-level
+    object with a [traceEvents] array, metadata events naming each PE
+    track, "B"/"E" duration events for spans, "i" instants, "b"/"e"
+    async events (the flow pairs linking a sender's chunk injection to
+    its delivery at the receiver), and "C" counters.  Timestamps are the
+    sink's track-local times written into [ts] verbatim — simulated
+    cycles on the fabric tracks — so one "microsecond" in the viewer is
+    one cycle. *)
+
+let phase_string : Trace.phase -> string = function
+  | Trace.Span_begin -> "B"
+  | Trace.Span_end -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Flow_begin -> "b"
+  | Trace.Flow_end -> "e"
+  | Trace.Counter -> "C"
+
+let json_of_arg : Trace.arg -> Json.t = function
+  | Trace.Astr s -> Json.String s
+  | Trace.Aint i -> Json.Int i
+  | Trace.Afloat f -> Json.Float f
+
+let json_of_event (ev : Trace.event) : Json.t =
+  let base =
+    [
+      ("name", Json.String ev.Trace.ev_name);
+      ("cat", Json.String ev.Trace.ev_cat);
+      ("ph", Json.String (phase_string ev.Trace.ev_phase));
+      ("ts", Json.Float ev.Trace.ev_ts);
+      ("pid", Json.Int ev.Trace.ev_pid);
+      ("tid", Json.Int ev.Trace.ev_tid);
+    ]
+  in
+  let base =
+    match ev.Trace.ev_phase with
+    | Trace.Flow_begin | Trace.Flow_end ->
+        base @ [ ("id", Json.Int ev.Trace.ev_id) ]
+    | Trace.Instant -> base @ [ ("s", Json.String "t") ]
+    | _ -> base
+  in
+  let base =
+    if ev.Trace.ev_args = [] then base
+    else
+      base
+      @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) ev.Trace.ev_args)) ]
+  in
+  Json.Obj base
+
+let metadata_events (sink : Trace.sink) : Json.t list =
+  let process (pid, name) =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  let thread ((pid, tid), name) =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  List.map process (Trace.process_names sink)
+  @ List.map thread (Trace.track_names sink)
+
+(** The whole trace as one JSON document.  Events are sorted by
+    timestamp (stable, so a span's "B" stays ahead of a zero-length
+    "E"); flow events emitted after the fact land at their recorded
+    times. *)
+let export (sink : Trace.sink) : Json.t =
+  let evs =
+    List.stable_sort
+      (fun (a : Trace.event) b -> Float.compare a.Trace.ev_ts b.Trace.ev_ts)
+      (Trace.events sink)
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (metadata_events sink @ List.map json_of_event evs) );
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("tool", Json.String "wsc trace");
+            ("timeUnit", Json.String "cycles (fabric tracks) / us (compiler track)");
+          ] );
+    ]
+
+let to_string (sink : Trace.sink) : string = Json.to_string (export sink)
+
+let write_file ~(path : string) (sink : Trace.sink) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (export sink))

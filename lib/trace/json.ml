@@ -1,0 +1,270 @@
+(** Minimal JSON: a value tree, a printer, and a recursive-descent
+    parser.
+
+    The trace exporter builds the Chrome Trace Event file through this
+    AST (so emitted files are well-formed by construction), and the test
+    suite re-parses exported traces to assert their shape.  Only what a
+    trace file needs is implemented — no streaming, no number-precision
+    contortions beyond keeping every printed float a valid JSON number. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** {1 Printing} *)
+
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** A float as a valid JSON number: no [nan]/[inf] tokens, and integral
+    values keep a fractional point so they survive a round trip as
+    floats. *)
+let float_repr (f : float) : string =
+  match Float.classify_float f with
+  | FP_nan -> "0"
+  | FP_infinite -> if f > 0.0 then "1e308" else "-1e308"
+  | _ ->
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let rec write (b : Buffer.t) (v : t) : unit =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string (v : t) : string =
+  let b = Buffer.create 4096 in
+  write b v;
+  Buffer.contents b
+
+let to_channel (oc : out_channel) (v : t) : unit =
+  let b = Buffer.create 65536 in
+  write b v;
+  Buffer.output_buffer oc b
+
+(** {1 Parsing} *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance (c : cursor) = c.pos <- c.pos + 1
+
+let parse_fail (c : cursor) fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "at %d: %s" c.pos s))) fmt
+
+let skip_ws (c : cursor) : unit =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_fail c "expected %c, found %c" ch x
+  | None -> parse_fail c "expected %c, found end of input" ch
+
+let literal (c : cursor) (word : string) (v : t) : t =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else parse_fail c "bad literal (expected %s)" word
+
+let parse_string_body (c : cursor) : string =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char b '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char b '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then parse_fail c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> parse_fail c "bad \\u escape %s" hex
+            in
+            c.pos <- c.pos + 4;
+            (* trace files only escape control characters, so the code
+               point always fits one byte; anything else round-trips as
+               '?' rather than growing a UTF-8 encoder here *)
+            Buffer.add_char b (if code < 0x100 then Char.chr code else '?');
+            go ()
+        | _ -> parse_fail c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number (c : cursor) : t =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance c;
+        go ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_fail c "bad number %s" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> parse_fail c "bad number %s" s
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let member () =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let items = ref [ member () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          items := member () :: !items;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !items)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_fail c "unexpected character %c" ch
+
+let of_string (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then parse_fail c "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(** {1 Accessors} *)
+
+let member (k : string) (v : t) : t option =
+  match v with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_number_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

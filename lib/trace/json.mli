@@ -1,0 +1,30 @@
+(** Minimal JSON value tree with a printer and a parser — enough for the
+    Chrome Trace exporter to build well-formed files and for the tests to
+    re-parse and inspect them.  No external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialize; every float is printed as a valid JSON number (no
+    [nan]/[inf] tokens). *)
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+
+(** Parse a complete JSON document. *)
+val of_string : string -> (t, string) result
+
+(** Object member lookup ([None] on non-objects and missing keys). *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+
+(** Ints and floats, unified. *)
+val to_number_opt : t -> float option

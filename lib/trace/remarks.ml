@@ -1,0 +1,78 @@
+(** Pass-remarks: rendering and trace emission for the pass manager's
+    per-pass instrumentation ({!Wsc_ir.Pass.remark}).
+
+    The usual wiring: collect remarks through
+    [Pass.options.on_remark = Some (collect r)], then print {!table}
+    and/or {!emit} them onto the compiler track of a trace sink, where
+    each pass becomes a span (timestamps in wall-clock microseconds,
+    laid end to end from 0). *)
+
+module Pass = Wsc_ir.Pass
+
+(** An [on_remark] callback accumulating into [acc] (in pipeline
+    order). *)
+let collect (acc : Pass.remark list ref) : Pass.remark -> unit =
+ fun r -> acc := !acc @ [ r ]
+
+let total_wall_s (remarks : Pass.remark list) : float =
+  List.fold_left (fun t (r : Pass.remark) -> t +. r.r_wall_s +. r.r_verify_s) 0.0 remarks
+
+(** The pass-remarks table: per pass, wall time (pass + verifier) and
+    the op-count delta it caused. *)
+let table (remarks : Pass.remark list) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-36s %10s %10s %8s %8s %8s\n" "pass" "wall ms"
+       "verify ms" "ops in" "ops out" "delta");
+  List.iter
+    (fun (r : Pass.remark) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-36s %10.3f %10.3f %8d %8d %+8d\n" r.Pass.r_pass
+           (1e3 *. r.Pass.r_wall_s)
+           (1e3 *. r.Pass.r_verify_s)
+           r.Pass.r_ops_before r.Pass.r_ops_after
+           (r.Pass.r_ops_after - r.Pass.r_ops_before)))
+    remarks;
+  let final_ops =
+    match List.rev remarks with
+    | r :: _ -> r.Pass.r_ops_after
+    | [] -> 0
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%-36s %10.3f %10s %8s %8d\n" "total"
+       (1e3 *. total_wall_s remarks)
+       "" "" final_ops);
+  Buffer.contents b
+
+(** Emit the remarks as spans on the compiler track: passes laid end to
+    end from t=0, verification as a nested span, op counts as a counter
+    series. *)
+let emit (sink : Trace.sink) (remarks : Pass.remark list) : unit =
+  if Trace.enabled sink then begin
+    let pid = Trace.compiler_pid and tid = 0 in
+    Trace.name_process sink ~pid "compiler";
+    Trace.name_track sink ~pid ~tid "pass pipeline";
+    let t = ref 0.0 in
+    List.iter
+      (fun (r : Pass.remark) ->
+        let t0 = !t in
+        let t_pass = t0 +. (1e6 *. r.Pass.r_wall_s) in
+        let t_end = t_pass +. (1e6 *. r.Pass.r_verify_s) in
+        Trace.span_begin sink ~pid ~tid ~cat:"pass" ~name:r.Pass.r_pass
+          ~args:
+            [
+              ("ops_before", Trace.Aint r.Pass.r_ops_before);
+              ("ops_after", Trace.Aint r.Pass.r_ops_after);
+            ]
+          t0;
+        if r.Pass.r_verify_s > 0.0 then begin
+          Trace.span_begin sink ~pid ~tid ~cat:"verify" ~name:"verify" t_pass;
+          Trace.span_end sink ~pid ~tid ~cat:"verify" ~name:"verify" t_end
+        end;
+        Trace.span_end sink ~pid ~tid ~cat:"pass" ~name:r.Pass.r_pass t_end;
+        Trace.counter sink ~pid ~tid ~name:"module ops"
+          ~values:[ ("ops", float_of_int r.Pass.r_ops_after) ]
+          t_end;
+        t := t_end)
+      remarks
+  end

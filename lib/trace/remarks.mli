@@ -1,0 +1,16 @@
+(** Pass-remarks rendering: the per-pass wall-time / IR-size table and
+    compiler-track trace spans, from {!Wsc_ir.Pass.remark} records. *)
+
+(** An [Pass.options.on_remark] callback accumulating into the ref, in
+    pipeline order. *)
+val collect : Wsc_ir.Pass.remark list ref -> Wsc_ir.Pass.remark -> unit
+
+(** Total pipeline wall time (passes + verification), seconds. *)
+val total_wall_s : Wsc_ir.Pass.remark list -> float
+
+(** The pass-remarks table (wall time and op-count delta per pass). *)
+val table : Wsc_ir.Pass.remark list -> string
+
+(** Emit the remarks as spans/counters on the trace's compiler track
+    (timestamps in µs, passes laid end to end from 0). *)
+val emit : Trace.sink -> Wsc_ir.Pass.remark list -> unit

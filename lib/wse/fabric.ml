@@ -23,6 +23,7 @@ open Wsc_ir.Ir
 module Csl = Wsc_core.Csl
 module Bufview = Wsc_core.Bufview
 module Dmp = Wsc_dialects.Dmp
+module Trace = Wsc_trace.Trace
 
 exception Sim_error of string
 
@@ -217,17 +218,19 @@ module Sched = struct
     let cur = Option.value (Hashtbl.find_opt s.waiters k) ~default:[] in
     Hashtbl.replace s.waiters k (coord :: cur)
 
-  (** A send landed: wake every PE parked on its key. *)
-  let notify (s : t) (k : key) : unit =
+  (** A send landed: wake every PE parked on its key; returns the woken
+      coordinates (so the caller can trace the wakeups). *)
+  let notify (s : t) (k : key) : (int * int) list =
     match Hashtbl.find_opt s.waiters k with
-    | None -> ()
+    | None -> []
     | Some coords ->
         Hashtbl.remove s.waiters k;
         List.iter
           (fun c ->
             s.stats.wakeups <- s.stats.wakeups + 1;
             enqueue s c)
-          coords
+          coords;
+        coords
 end
 
 (** {1 Simulator} *)
@@ -248,6 +251,10 @@ type t = {
   zfull : int;
   nz : int;
   sched : Sched.t;
+  trace : Trace.sink;
+      (** where the simulator reports spans and link transfers; with
+          {!Trace.null} (the default) every site is a dead branch and
+          results are bit-identical to an untraced run *)
 }
 
 let new_pe (program : op) x y : pe =
@@ -303,7 +310,7 @@ let new_pe (program : op) x y : pe =
     [Wsc_perf.Wse_perf] instead of being simulated whole. *)
 let max_simulated_pes = 64 * 1024
 
-let create (machine : Machine.t) (program : op) : t =
+let create ?(trace = Trace.null) (machine : Machine.t) (program : op) : t =
   let width = int_attr_exn program "width" in
   let height = int_attr_exn program "height" in
   if width > machine.max_width || height > machine.max_height then
@@ -326,6 +333,15 @@ let create (machine : Machine.t) (program : op) : t =
       | "csl.task" -> Hashtbl.replace tasks (string_attr_exn o "sym_name") o
       | _ -> ())
     (Csl.module_body program);
+  if Trace.enabled trace then begin
+    Trace.name_process trace ~pid:Trace.fabric_pid "fabric";
+    for x = 0 to width - 1 do
+      for y = 0 to height - 1 do
+        Trace.name_track trace ~pid:Trace.fabric_pid ~tid:((y * width) + x)
+          (Printf.sprintf "PE(%d,%d)" x y)
+      done
+    done
+  end;
   {
     machine;
     program;
@@ -340,7 +356,53 @@ let create (machine : Machine.t) (program : op) : t =
     zfull = int_attr_exn program "zfull";
     nz = int_attr_exn program "nz";
     sched = Sched.create ();
+    trace;
   }
+
+(** {1 Trace emission}
+
+    All emission is observation-only: helpers read PE clocks and send
+    records but never touch simulation state, and every allocation
+    (names, args) sits behind a {!Trace.enabled} branch, so with the
+    null sink a traced build is bit-identical to the seed simulator. *)
+
+let tid_of (sim : t) (pe : pe) : int = (pe.py * sim.width) + pe.px
+
+(** A completed [t0, t1] span on [pe]'s track. *)
+let trace_span (sim : t) (pe : pe) ~(cat : string) ~(name : string) (t0 : float)
+    (t1 : float) : unit =
+  if Trace.enabled sim.trace then begin
+    let tid = tid_of sim pe in
+    Trace.span_begin sim.trace ~pid:Trace.fabric_pid ~tid ~cat ~name t0;
+    Trace.span_end sim.trace ~pid:Trace.fabric_pid ~tid ~cat ~name t1
+  end
+
+let trace_instant (sim : t) (pe : pe) ~(cat : string) ~(name : string)
+    (ts : float) : unit =
+  if Trace.enabled sim.trace then
+    Trace.instant sim.trace ~pid:Trace.fabric_pid ~tid:(tid_of sim pe) ~cat ~name
+      ts
+
+(** One chunk's journey over a link, as an async flow: begins on the
+    sender's track when the chunk's injection completes, ends on the
+    receiver's track at delivery. *)
+let trace_link (sim : t) ~(src : pe) ~(dst : pe) ~(dir : Dmp.direction)
+    ~(chunk : int) ~(elems : int) ~(ready : float) ~(arrival : float) : unit =
+  if Trace.enabled sim.trace then begin
+    let id = Trace.fresh_flow_id sim.trace in
+    let dir_name = Dmp.direction_to_string dir in
+    Trace.flow_begin sim.trace ~pid:Trace.fabric_pid ~tid:(tid_of sim src)
+      ~cat:"link" ~name:"xfer" ~id
+      ~args:
+        [
+          ("dir", Trace.Astr dir_name);
+          ("chunk", Trace.Aint chunk);
+          ("elems", Trace.Aint elems);
+        ]
+      ready;
+    Trace.flow_end sim.trace ~pid:Trace.fabric_pid ~tid:(tid_of sim dst)
+      ~cat:"link" ~name:"xfer" ~id arrival
+  end
 
 (** {1 csl-op execution on one PE} *)
 
@@ -582,11 +644,22 @@ let register_send (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) : unit =
     pe.stats.elems_sent + (total_dirs * cfg.num_chunks * cfg.chunk_size);
   (* injection overlaps with waiting: model sender as busy for the first
      chunk only; the rest stream out asynchronously *)
+  let inject_start = pe.clock in
   pe.clock <- pe.clock +. chunk_cost;
+  if Trace.enabled sim.trace then
+    trace_span sim pe ~cat:"send"
+      ~name:(Printf.sprintf "inject a%d#%d" cfg.apply_id seq)
+      inject_start pe.clock;
   Hashtbl.replace sim.sends (cfg.apply_id, seq, pe.px, pe.py)
     { sr_chunk_ready = ready; sr_data = data };
   (* wake any neighbour parked on this send *)
-  Sched.notify sim.sched (cfg.apply_id, seq, pe.px, pe.py)
+  let woken = Sched.notify sim.sched (cfg.apply_id, seq, pe.px, pe.py) in
+  if Trace.enabled sim.trace then
+    List.iter
+      (fun (wx, wy) ->
+        let wpe = sim.pes.(wx).(wy) in
+        trace_instant sim wpe ~cat:"sched" ~name:"wake" wpe.clock)
+      woken
 
 (** State slot a communicated input corresponds to, for boundary-column
     lookup: the Dirichlet halo is the initial value of that logical grid. *)
@@ -668,9 +741,12 @@ let rec complete_exchange (sim : t) (pe : pe) (w : waiting) : unit =
               | Some (col, ready) ->
                   (match ready with
                   | Some r ->
-                      arrival :=
-                        Float.max !arrival
-                          (r.(k) +. float_of_int (d * m.hop_cycles))
+                      let at = r.(k) +. float_of_int (d * m.hop_cycles) in
+                      arrival := Float.max !arrival at;
+                      trace_link sim
+                        ~src:sim.pes.(pe.px + (vx * d)).(pe.py + (vy * d))
+                        ~dst:pe ~dir:sw.dir ~chunk:k ~elems:cs ~ready:r.(k)
+                        ~arrival:at
                   | None -> ());
                   if promoted then begin
                     let c =
@@ -695,6 +771,7 @@ let rec complete_exchange (sim : t) (pe : pe) (w : waiting) : unit =
       cfg.inputs;
     (* run the chunk callback once data for this chunk has arrived *)
     if !arrival > pe.clock then begin
+      trace_span sim pe ~cat:"wait" ~name:"parked-on-exchange" pe.clock !arrival;
       pe.stats.wait_cycles <- pe.stats.wait_cycles +. (!arrival -. pe.clock);
       pe.clock <- !arrival
     end;
@@ -719,6 +796,7 @@ let rec complete_exchange (sim : t) (pe : pe) (w : waiting) : unit =
     let drain =
       float_of_int (incoming + self_loopback) *. m.drain_cycles_per_elem
     in
+    trace_span sim pe ~cat:"recv" ~name:"drain" pe.clock (pe.clock +. drain);
     pe.clock <- pe.clock +. drain;
     pe.stats.compute_cycles <- pe.stats.compute_cycles +. drain;
     pe.stats.elems_drained <- pe.stats.elems_drained + incoming;
@@ -727,12 +805,16 @@ let rec complete_exchange (sim : t) (pe : pe) (w : waiting) : unit =
     if promoted then pe.stats.flops <- pe.stats.flops +. (2.0 *. float_of_int incoming);
     pe.stats.task_activations <- pe.stats.task_activations + 1;
     pe.clock <- pe.clock +. float_of_int m.task_activate_cycles;
-    ignore (exec_func sim pe cfg.chunk_cb [ Cint off ])
+    let cb_start = pe.clock in
+    ignore (exec_func sim pe cfg.chunk_cb [ Cint off ]);
+    trace_span sim pe ~cat:"compute" ~name:cfg.chunk_cb cb_start pe.clock
   done;
   (* done callback: one final task activation *)
   pe.stats.task_activations <- pe.stats.task_activations + 1;
   pe.clock <- pe.clock +. float_of_int m.task_activate_cycles;
+  let done_start = pe.clock in
   let new_comms = exec_func sim pe cfg.done_cb [] in
+  trace_span sim pe ~cat:"compute" ~name:cfg.done_cb done_start pe.clock;
   (* the done callback may start the next exchange *)
   List.iter (start_exchange sim pe) new_comms
 
@@ -765,7 +847,9 @@ let run_tasks (sim : t) (pe : pe) : bool =
       let (t, name), rest = extract [] q in
       pe.task_queue <- rest;
       pe.clock <- Float.max pe.clock t;
+      let task_start = pe.clock in
       let comms = exec_func sim pe name [] in
+      trace_span sim pe ~cat:"compute" ~name task_start pe.clock;
       List.iter (start_exchange sim pe) comms;
       true
 
@@ -799,7 +883,9 @@ let launch (sim : t) : unit =
     (fun col ->
       Array.iter
         (fun pe ->
+          let run_start = pe.clock in
           let comms = exec_func sim pe "run" [] in
+          trace_span sim pe ~cat:"compute" ~name:"run" run_start pe.clock;
           List.iter (start_exchange sim pe) comms)
         col)
     sim.pes
@@ -952,6 +1038,7 @@ let run_event ~(max_rounds : int) (sim : t) : unit =
           | Some w -> (
               match missing_senders sim pe w with
               | (sx, sy) :: _ ->
+                  trace_instant sim pe ~cat:"sched" ~name:"park" pe.clock;
                   Sched.park s (w.w_cfg.apply_id, w.w_seq, sx, sy) (x, y)
               | [] ->
                   (* all senders landed between the readiness check and
@@ -988,6 +1075,29 @@ let elapsed_cycles (sim : t) : float =
     0.0 sim.pes
 
 let elapsed_seconds (sim : t) : float = elapsed_cycles sim /. sim.machine.clock_hz
+
+(** Per-PE cycle accounts in the shape the trace aggregation consumes
+    (row-major: y varies fastest within a column of constant x). *)
+let pe_summaries (sim : t) : Wsc_trace.Aggregate.pe_summary list =
+  let acc = ref [] in
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun pe ->
+          acc :=
+            {
+              Wsc_trace.Aggregate.ps_x = pe.px;
+              ps_y = pe.py;
+              ps_compute = pe.stats.compute_cycles;
+              ps_send = pe.stats.send_cycles;
+              ps_wait = pe.stats.wait_cycles;
+              ps_clock = pe.clock;
+              ps_tasks = pe.stats.task_activations;
+            }
+            :: !acc)
+        col)
+    sim.pes;
+  List.rev !acc
 
 (** Aggregate statistics over all PEs. *)
 let total_stats (sim : t) : pe_stats =

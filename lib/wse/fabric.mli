@@ -89,6 +89,10 @@ type t = {
   zfull : int;
   nz : int;
   sched : Sched.t;
+  trace : Wsc_trace.Trace.sink;
+      (** where the simulator reports spans and link transfers; with
+          {!Wsc_trace.Trace.null} every emission site is a dead branch
+          and results are bit-identical to an untraced run *)
 }
 
 and send_record
@@ -97,10 +101,13 @@ and send_record
     wafers are measured via proxy-grid extrapolation. *)
 val max_simulated_pes : int
 
-(** Instantiate the PE grid for a program module.
+(** Instantiate the PE grid for a program module.  [trace] (default
+    {!Wsc_trace.Trace.null}) receives per-PE spans (compute, send,
+    parked-on-exchange, drain), scheduler wake/park instants and
+    per-link transfer flows as the simulation runs.
     @raise Sim_error when the grid exceeds the fabric, is too large to
     simulate in-process, or the program's per-PE memory exceeds 48 kB. *)
-val create : Machine.t -> Wsc_ir.Ir.op -> t
+val create : ?trace:Wsc_trace.Trace.sink -> Machine.t -> Wsc_ir.Ir.op -> t
 
 val in_grid : t -> int -> int -> bool
 
@@ -135,6 +142,9 @@ val sched_stats : t -> Sched.stats
 val elapsed_cycles : t -> float
 
 val elapsed_seconds : t -> float
+
+(** Per-PE cycle accounts in the shape the trace aggregation consumes. *)
+val pe_summaries : t -> Wsc_trace.Aggregate.pe_summary list
 
 (** Aggregate statistics over all PEs. *)
 val total_stats : t -> pe_stats

@@ -8,6 +8,7 @@
 
 open Wsc_ir.Ir
 module I = Wsc_dialects.Interp
+module Trace = Wsc_trace.Trace
 
 exception Host_error of string
 
@@ -25,9 +26,17 @@ let column_of_grid (g : I.grid) (x : int) (y : int) : float array =
   | I.Rtensor col -> col
   | _ -> fail "grid element is not a z-column"
 
-(** Create the simulator and copy the initial state in. *)
-let load (machine : Machine.t) (program : op) (init_grids : I.grid list) : t =
-  let sim = Fabric.create machine program in
+(** Create the simulator and copy the initial state in; [trace] is
+    handed to the fabric and also carries host-side markers (load,
+    run completion, readback) on its own track. *)
+let load ?(trace = Trace.null) (machine : Machine.t) (program : op)
+    (init_grids : I.grid list) : t =
+  let sim = Fabric.create ~trace machine program in
+  if Trace.enabled trace then begin
+    Trace.name_process trace ~pid:Trace.host_pid "host";
+    Trace.name_track trace ~pid:Trace.host_pid ~tid:0 "host runtime";
+    Trace.instant trace ~pid:Trace.host_pid ~tid:0 ~cat:"host" ~name:"load" 0.0
+  end;
   let n_state = int_attr_exn program "n_state" in
   if List.length init_grids <> n_state then
     fail "expected %d state grids, got %d" n_state (List.length init_grids);
@@ -68,7 +77,14 @@ let load (machine : Machine.t) (program : op) (init_grids : I.grid list) : t =
   { sim; program; init_grids; result_ptrs }
 
 (** Run the device program to completion. *)
-let run ?driver (h : t) : unit = Fabric.run_to_completion ?driver h.sim
+let run ?driver (h : t) : unit =
+  let trace = h.sim.Fabric.trace in
+  if Trace.enabled trace then
+    Trace.span_begin trace ~pid:Trace.host_pid ~tid:0 ~cat:"host" ~name:"run" 0.0;
+  Fabric.run_to_completion ?driver h.sim;
+  if Trace.enabled trace then
+    Trace.span_end trace ~pid:Trace.host_pid ~tid:0 ~cat:"host" ~name:"run"
+      (Fabric.elapsed_cycles h.sim)
 
 (** Read state grid [j] back: interior columns from the PEs (through the
     final pointer assignment), halo columns unchanged from the initial
@@ -93,9 +109,13 @@ let read_all (h : t) : I.grid list =
 
 (** Simulate a compiled program on freshly initialized grids; returns the
     host handle after completion. *)
-let simulate ?driver (machine : Machine.t) (compiled : op) (init_grids : I.grid list)
-    : t =
+let simulate ?driver ?trace (machine : Machine.t) (compiled : op)
+    (init_grids : I.grid list) : t =
   let _, program = Wsc_core.Pipeline.modules_of compiled in
-  let h = load machine program init_grids in
+  let h = load ?trace machine program init_grids in
   run ?driver h;
+  let tr = h.sim.Fabric.trace in
+  if Trace.enabled tr then
+    Trace.instant tr ~pid:Trace.host_pid ~tid:0 ~cat:"host" ~name:"readback"
+      (Fabric.elapsed_cycles h.sim);
   h

@@ -14,8 +14,10 @@ type t = {
 
 (** Create the simulator for [program] and copy the initial state grids
     (2-D grids of z-column tensors, full halo bounds) onto the PEs.
+    [trace] is handed to the fabric and also carries host-side markers.
     @raise Host_error on state-count or column-length mismatch. *)
 val load :
+  ?trace:Wsc_trace.Trace.sink ->
   Machine.t -> Wsc_ir.Ir.op -> Wsc_dialects.Interp.grid list -> t
 
 (** Run the device program to completion (host calls the exported
@@ -33,4 +35,5 @@ val read_all : t -> Wsc_dialects.Interp.grid list
     compiled result, load, and run to completion. *)
 val simulate :
   ?driver:Fabric.driver ->
+  ?trace:Wsc_trace.Trace.sink ->
   Machine.t -> Wsc_ir.Ir.op -> Wsc_dialects.Interp.grid list -> t
