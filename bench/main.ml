@@ -408,6 +408,64 @@ let micro () =
     tbl
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable summary: the perf trajectory (BENCH_*.json)        *)
+(* ------------------------------------------------------------------ *)
+
+(** One proxy-grid simulation per benchmark per driver, dumped with its
+    wall time and scheduler counters so successive PRs can diff the perf
+    trajectory mechanically instead of scraping the tables above. *)
+let json_summary (path : string) : unit =
+  let module J = Wsc_trace.Json in
+  let extent = 16 and iters = 8 in
+  let machine = Machine.wse3 in
+  let entry (d : B.descr) driver : J.t =
+    let t0 = Sys.time () in
+    let h, chunks = WP.simulate_proxy ~driver ~extent d ~machine ~iters in
+    let wall_ms = (Sys.time () -. t0) *. 1e3 in
+    let k = F.sched_stats h.sim in
+    let st = F.total_stats h.sim in
+    J.Obj
+      [
+        ("benchmark", J.String d.id);
+        ( "driver",
+          J.String (match driver with F.Polling -> "polling" | _ -> "event") );
+        ("cycles", J.Float (F.elapsed_cycles h.sim));
+        ("wall_ms", J.Float wall_ms);
+        ("chunks", J.Int chunks);
+        ("flops", J.Float st.flops);
+        ("elems_sent", J.Int st.elems_sent);
+        ("task_activations", J.Int st.task_activations);
+        ( "scheduler",
+          J.Obj
+            [
+              ("scans", J.Int k.F.Sched.scans);
+              ("probes", J.Int k.F.Sched.probes);
+              ("wakeups", J.Int k.F.Sched.wakeups);
+              ("parks", J.Int k.F.Sched.parks);
+              ("max_queue_depth", J.Int k.F.Sched.max_queue_depth);
+            ] );
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("machine", J.String machine.Machine.name);
+        ("proxy_extent", J.Int extent);
+        ("iterations", J.Int iters);
+        ( "benchmarks",
+          J.List
+            (List.concat_map
+               (fun d -> [ entry d F.Polling; entry d F.Event_driven ])
+               B.all) );
+      ]
+  in
+  let oc = open_out path in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -426,10 +484,24 @@ let experiments =
 
 let () =
   Wsc_core.Csl_stencil_interp.register ();
-  let requested =
+  (* [--json FILE] may ride along any experiment selection; alone it
+     runs only the summary *)
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, rest =
     match Array.to_list Sys.argv with
-    | _ :: rest when rest <> [] -> rest
-    | _ -> List.map fst experiments
+    | _ :: rest -> split_json [] rest
+    | [] -> (None, [])
+  in
+  (match json with Some path -> json_summary path | None -> ());
+  let requested =
+    match rest with
+    | [] when json <> None -> []
+    | [] -> List.map fst experiments
+    | rest -> rest
   in
   List.iter
     (fun id ->

@@ -266,6 +266,130 @@ let trace_cmd =
         (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ machine_arg
        $ trace_out_arg $ top_arg))
 
+(* ---------------- faults ---------------- *)
+
+module Faults = Wsc_faults.Faults
+module Campaign = Wsc_faults_campaign.Campaign
+
+let kind_conv =
+  let parse s =
+    match
+      List.find_opt (fun k -> Faults.kind_to_string k = s) Faults.all_kinds
+    with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault kind '%s': accepted kinds are %s" s
+               (String.concat ", " (List.map Faults.kind_to_string Faults.all_kinds))))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Faults.kind_to_string k))
+
+let kinds_arg =
+  Arg.(
+    value
+    & opt (list kind_conv) Faults.all_kinds
+    & info [ "k"; "kinds" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated fault models to sweep: drop, corrupt, stall, halt, \
+           backpressure (default: all).")
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.001; 0.01 ]
+    & info [ "r"; "rates" ] ~docv:"RATES"
+        ~doc:"Comma-separated fault rates to sweep (per injection site).")
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 3 ]
+    & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated campaign seeds.")
+
+let no_resilience_arg =
+  Arg.(
+    value & flag
+    & info [ "no-resilience" ]
+        ~doc:
+          "Disable the detection & recovery protocol: faults land undetected \
+           (measures raw vulnerability instead of recovery overhead).")
+
+let driver_conv =
+  let parse = function
+    | "polling" -> Ok F.Polling
+    | "event" -> Ok F.Event_driven
+    | s -> Error (`Msg ("unknown driver: " ^ s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt d ->
+        Format.pp_print_string fmt
+          (match d with F.Polling -> "polling" | F.Event_driven -> "event") )
+
+let driver_arg =
+  Arg.(
+    value & opt driver_conv F.Event_driven
+    & info [ "driver" ] ~docv:"DRIVER" ~doc:"Fabric driver: event or polling.")
+
+let faults_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+
+let faults_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Collect every cell's events (faults, retries, halts included) on \
+           one shared timeline and export it as Chrome-trace JSON.")
+
+let faults_cmd =
+  let run bench size iterations machine driver kinds rates seeds no_resilience
+      json_out trace_out =
+    match bench with
+    | None -> Error (`Msg "faults: --bench required")
+    | Some id -> (
+        match B.find id with
+        | exception Invalid_argument msg -> Error (`Msg msg)
+        | _ ->
+            let sink = Option.map (fun _ -> T.collector ()) trace_out in
+            let report =
+              Campaign.run ~driver ~machine ?iterations ~kinds ?trace:sink
+                ~bench:id ~size ~resilient:(not no_resilience) ~rates ~seeds ()
+            in
+            print_string (Campaign.to_string report);
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Wsc_trace.Json.to_channel oc (Campaign.to_json report);
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "wrote %s\n" path);
+            (match (trace_out, sink) with
+            | Some path, Some sink ->
+                Wsc_trace.Chrome.write_file ~path sink;
+                Printf.printf "wrote %s (%d events)\n" path (T.event_count sink);
+                print_string (Wsc_trace.Aggregate.fault_table (T.events sink))
+            | _ -> ());
+            Ok ())
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a deterministic fault-injection campaign (fault model × rate × \
+          seed) against the fabric simulator and report survival, recovery \
+          overhead and divergence vs the sequential reference.")
+    Term.(
+      term_result
+        (const run $ bench_arg $ size_arg $ iters_arg $ machine_arg $ driver_arg
+       $ kinds_arg $ rates_arg $ seeds_arg $ no_resilience_arg $ faults_json_arg
+       $ faults_trace_arg))
+
 (* ---------------- perf ---------------- *)
 
 let perf_cmd =
@@ -334,7 +458,8 @@ let () =
   let rc =
     try
       Cmd.eval ~catch:false
-        (Cmd.group info [ compile_cmd; simulate_cmd; trace_cmd; perf_cmd; ir_cmd ])
+        (Cmd.group info
+           [ compile_cmd; simulate_cmd; trace_cmd; faults_cmd; perf_cmd; ir_cmd ])
     with
     | Wsc_wse.Fabric.Sim_error msg
     | Wsc_wse.Host.Host_error msg

@@ -35,6 +35,7 @@ param pattern: u16;          // stencil radius + 1
 param chunk_size: u16;
 param num_chunks: u16;
 param wse2_self_send: bool;  // switch workaround for the WSE2 generation
+param resilience: bool;      // per-wavelet seq/checksum + retransmission
 
 const directions = 4;
 const max_pattern = 8;
@@ -185,6 +186,111 @@ let direction_section ~(dir : string) ~(opp : string) : string =
   |> replace_all ~pattern:"$DIR" ~by:dir
   |> replace_all ~pattern:"$OPP" ~by:opp
 
+let resilience_section =
+  {|
+// ----------------------------------------------------------------------
+// Resilience protocol (optional, `resilience` param)
+//
+// Every chunk wavelet train carries a header of (sequence number,
+// checksum). The receiver folds arriving payload words into a running
+// checksum while draining the queue; a mismatch (payload corrupted on a
+// link) or a gap in sequence numbers (wavelets dropped) triggers a NACK
+// back to the sender over the dedicated nack color, and the sender's
+// router retransmits the chunk. Loss of the train itself is caught by a
+// receiver timeout with bounded exponential backoff. After max_retries
+// failed attempts the receiver gives up, substitutes zeroes for the
+// missing column, and flags its own data invalid so the host can report
+// the affected region instead of trusting silently wrong results.
+// ----------------------------------------------------------------------
+
+const nack_color: color = @get_color(9);
+
+param timeout_cycles: u32;      // first receiver timeout
+param backoff_factor: u32;      // timeout multiplier per failed attempt
+param max_backoff_cycles: u32;  // backoff cap
+param max_retries: u16;         // retransmissions before giving up
+
+const WaveletHeader = struct {
+    seq: u16,       // chunk sequence number within the exchange
+    checksum: u32,  // folded over the chunk's payload words
+};
+
+var rx_expected_seq: u16 = 0;
+var rx_running_checksum: u32 = 0;
+var rx_attempt: u16 = 0;
+var rx_timeout: u32 = timeout_cycles;
+var data_valid: bool = true;   // cleared on giveup; host reads this back
+
+var fabout_nack = @get_dsd(fabout_dsd, .{ .fabric_color = nack_color, .extent = 1 });
+var fabin_nack  = @get_dsd(fabin_dsd,  .{ .fabric_color = nack_color, .extent = 1 });
+
+// Fold one payload word into the running checksum while it drains.
+fn checksum_step(word: u32) void {
+    rx_running_checksum = (rx_running_checksum ^ word) *% 0x9e3779b9;
+}
+
+// Header of a completed chunk train: verify integrity and ordering.
+// On mismatch, NACK the sender; the chunk's staging contribution is
+// discarded and the train replays.
+task verify_chunk_header() void {
+    const hdr = @as(*const WaveletHeader, &header_words);
+    if (hdr.checksum != rx_running_checksum or hdr.seq != rx_expected_seq) {
+        @fmovs(fabout_nack, nack_payload_dsd, .{ .async = true });
+        return;
+    }
+    rx_expected_seq += 1;
+    rx_running_checksum = 0;
+    rx_attempt = 0;
+    rx_timeout = timeout_cycles;
+}
+
+// A NACK arrived for one of our outstanding chunks: re-inject it.
+// The send-side snapshot is still live (sends complete only after the
+// last ACKed chunk), so retransmission never re-reads mutated state.
+task nack_recv() void {
+    @activate(start_next_chunk_id);
+}
+
+// Receiver timeout: the expected train never completed (dropped on a
+// link, or the sender is stalled). Back off exponentially, bounded, and
+// give up after max_retries — zero-fill and mark our data invalid.
+task rx_timeout_expired() void {
+    if (rx_attempt >= max_retries) {
+        data_valid = false;  // graceful degradation: host sees the mask
+        rx_expected_seq += 1;
+        rx_attempt = 0;
+        rx_timeout = timeout_cycles;
+        return;
+    }
+    rx_attempt += 1;
+    rx_timeout = rx_timeout * backoff_factor;
+    if (rx_timeout > max_backoff_cycles) {
+        rx_timeout = max_backoff_cycles;
+    }
+    @fmovs(fabout_nack, nack_payload_dsd, .{ .async = true });
+}
+
+var header_words: [2]u32 = @zeros([2]u32);
+var nack_payload_dsd = @get_dsd(mem1d_dsd,
+    .{ .tensor_access = |i|{2} -> header_words[i] });
+
+comptime {
+    if (resilience) {
+        const verify_chunk_header_id = @get_local_task_id(27);
+        const rx_timeout_expired_id  = @get_local_task_id(28);
+        const nack_recv_id           = @get_data_task_id(nack_color);
+        @bind_local_task(verify_chunk_header, verify_chunk_header_id);
+        @bind_local_task(rx_timeout_expired, rx_timeout_expired_id);
+        @bind_data_task(nack_recv, nack_recv_id);
+        // NACKs travel the reverse path of the data they complain about.
+        @set_local_color_config(nack_color, .{ .routes = .{
+            .rx = .{ .east = true, .west = true, .north = true, .south = true },
+            .tx = .{ .ramp = true },
+        }});
+    }
+}
+|}
+
 let footer =
   {|
 // ----------------------------------------------------------------------
@@ -287,5 +393,6 @@ let source : string =
       direction_section ~dir:"west" ~opp:"east";
       direction_section ~dir:"north" ~opp:"south";
       direction_section ~dir:"south" ~opp:"north";
+      resilience_section;
       footer;
     ]

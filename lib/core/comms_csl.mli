@@ -11,4 +11,10 @@ val replace_all : pattern:string -> by:string -> string -> string
 (** One direction's worth of the library (exposed for tests). *)
 val direction_section : dir:string -> opp:string -> string
 
+(** The opt-in detection & recovery protocol (per-wavelet sequence
+    numbers and checksums, NACK-driven retransmission with bounded
+    exponential backoff, giveup with a validity flag the host reads
+    back); gated behind the [resilience] param (exposed for tests). *)
+val resilience_section : string
+
 val source : string

@@ -1,0 +1,167 @@
+(** Fault injection for the WSE fabric simulator: a seeded, fully
+    deterministic source of transient link faults (wavelet drop /
+    corruption), PE stalls, permanent PE halts and router backpressure
+    spikes, plus the opt-in resilience-protocol parameters the simulated
+    communication layer uses to detect and recover from them.
+
+    Mirrors {!Wsc_trace.Trace.sink}: the {!null} injector costs one
+    branch per injection site and keeps every fault-free run
+    bit-identical to an uninstrumented simulator.
+
+    Determinism: every decision is a pure hash of the campaign seed and
+    the site's own coordinates (PE position, exchange id, chunk index,
+    retransmission attempt, ...) — there is no mutable PRNG stream — so
+    decisions are independent of the order in which the driver visits
+    PEs.  A campaign therefore replays bit-identically from its seed
+    under both the polling and the event-driven fabric driver. *)
+
+(** Which fault mechanism a decision or an event belongs to. *)
+type kind =
+  | Drop  (** transient loss of one chunk's wavelets on one link *)
+  | Corrupt  (** transient payload corruption of one chunk on one link *)
+  | Stall  (** a PE freezes for a fixed number of cycles *)
+  | Halt  (** a PE stops executing permanently *)
+  | Backpressure  (** a router delays one chunk's delivery *)
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+(** Detection & recovery parameters of the simulated comms protocol:
+    per-wavelet sequence numbers and checksums let the receiver detect
+    corruption, a receiver timeout detects loss, and each retransmission
+    attempt backs off exponentially (bounded by [max_backoff_cycles]) up
+    to [max_retries] before the receiver gives up and marks its data
+    invalid. *)
+type resilience = {
+  timeout_cycles : float;  (** first receiver timeout, in cycles *)
+  backoff_factor : float;  (** timeout multiplier per failed attempt *)
+  max_backoff_cycles : float;  (** backoff cap *)
+  max_retries : int;  (** retransmissions before giving up *)
+  halt_timeout_cycles : float;
+      (** how long a receiver waits on a silent neighbour before
+          declaring it halted and degrading gracefully *)
+}
+
+val default_resilience : resilience
+
+type config = {
+  seed : int;
+  drop_rate : float;  (** per chunk-column delivery, per attempt *)
+  corrupt_rate : float;  (** per chunk-column delivery, per attempt *)
+  stall_rate : float;  (** per task dispatch *)
+  stall_cycles : float;
+  halt_rate : float;  (** per task dispatch *)
+  backpressure_rate : float;  (** per chunk-column delivery *)
+  backpressure_cycles : float;
+  resilience : resilience option;  (** [None]: faults land undetected *)
+}
+
+(** All rates zero; seed 0; no resilience. *)
+val default_config : config
+
+(** [config_for kind ~rate ~seed ~resilience] — a campaign cell: only
+    [kind]'s rate is set to [rate], everything else is fault-free. *)
+val config_for : kind -> rate:float -> seed:int -> resilient:bool -> config
+
+type stats = {
+  mutable drops : int;
+  mutable corrupts : int;
+  mutable stalls : int;
+  mutable halts : int;
+  mutable backpressures : int;
+  mutable retries : int;  (** retransmissions triggered by the protocol *)
+  mutable giveups : int;  (** deliveries abandoned after [max_retries] *)
+  mutable halt_timeouts : int;  (** exchanges degraded past a halted PE *)
+  mutable recovery_cycles : float;
+      (** total cycles spent on timeouts, retransmissions and halt
+          detection, summed over all PEs *)
+}
+
+type injector
+
+type t = Null | Injector of injector
+
+val null : t
+
+(** A fresh injector for one simulation run.  Two injectors created from
+    equal configs make identical decisions. *)
+val create : config -> t
+
+val enabled : t -> bool
+val config : t -> config  (** @raise Invalid_argument on [Null] *)
+
+val stats : t -> stats  (** zeroes on [Null] *)
+
+(** {1 Decisions (pure in seed and site coordinates)} *)
+
+(** Uniform draw in [0, 1) for an explicit site key; exposed for tests. *)
+val uniform : seed:int -> site:int -> keys:int list -> float
+
+(** Next value of the per-PE dispatch counter — the activation index the
+    stall/halt decisions key on.  Per-PE task order is deterministic, so
+    the counter sequence (and hence every decision) is identical under
+    both fabric drivers. *)
+val next_dispatch : t -> x:int -> y:int -> int
+
+(** Should this task dispatch stall? (site: PE + per-PE activation no.) *)
+val stall_here : t -> x:int -> y:int -> activation:int -> bool
+
+(** Should this task dispatch halt the PE permanently? *)
+val halt_here : t -> x:int -> y:int -> activation:int -> bool
+
+(** Should this chunk-column delivery suffer a backpressure spike? *)
+val backpressure_here :
+  t -> apply:int -> seq:int -> chunk:int -> input:int ->
+  sx:int -> sy:int -> dx:int -> dy:int -> bool
+
+(** Is attempt [attempt] of this chunk-column delivery dropped on the
+    link? (attempt 0 is the original transmission) *)
+val drop_here :
+  t -> apply:int -> seq:int -> chunk:int -> input:int ->
+  sx:int -> sy:int -> dx:int -> dy:int -> attempt:int -> bool
+
+(** Is attempt [attempt] of this chunk-column delivery corrupted? *)
+val corrupt_here :
+  t -> apply:int -> seq:int -> chunk:int -> input:int ->
+  sx:int -> sy:int -> dx:int -> dy:int -> attempt:int -> bool
+
+(** Deterministic payload perturbation for a corrupted delivery:
+    the element index to damage (within [len]) and the additive noise. *)
+val corruption :
+  t -> apply:int -> seq:int -> chunk:int -> input:int ->
+  sx:int -> sy:int -> dx:int -> dy:int -> attempt:int -> len:int ->
+  int * float
+
+(** Receiver timeout before retransmission [attempt] (1-based), with
+    exponential backoff bounded by [max_backoff_cycles]. *)
+val backoff : resilience -> attempt:int -> float
+
+(** {1 Protocol bookkeeping (shared by both fabric drivers)} *)
+
+(** Per-wavelet checksum of a payload slice, as the simulated protocol
+    computes it on both ends of a link. *)
+val checksum : float array -> off:int -> len:int -> int64
+
+(** Mark / query a permanently halted PE. *)
+val record_halt : t -> x:int -> y:int -> unit
+
+val is_halted : t -> x:int -> y:int -> bool
+val halted_count : t -> int
+
+(** Mark / query a PE whose readback data is invalid (it consumed
+    substituted or unrecoverable data, or data derived from such). *)
+val taint : t -> x:int -> y:int -> unit
+
+val is_tainted : t -> x:int -> y:int -> bool
+
+(** Mark / query a send the resilience layer has given up waiting for
+    (its sender halted): receivers substitute zeroes and carry on. *)
+val skip_send : t -> apply:int -> seq:int -> x:int -> y:int -> unit
+
+val is_skipped : t -> apply:int -> seq:int -> x:int -> y:int -> bool
+
+(** Mark / query a send whose payload was produced by a tainted PE, so
+    taint propagates to every receiver that reduces it. *)
+val taint_send : t -> apply:int -> seq:int -> x:int -> y:int -> unit
+
+val is_tainted_send : t -> apply:int -> seq:int -> x:int -> y:int -> bool

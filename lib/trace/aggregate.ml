@@ -191,6 +191,50 @@ let link_table (events : Trace.event list) : string =
     (link_histogram events);
   Buffer.contents b
 
+(** {1 Fault events} *)
+
+(** Aggregate the [cat = "fault"] events a fault-injection run emitted:
+    one row per event name (drop, corrupt, stall, halt, backpressure,
+    retry, giveup, halt-timeout), with count, affected-PE count and the
+    active time span. *)
+let fault_table (events : Trace.event list) : string =
+  let table : (string, int * (int, unit) Hashtbl.t * float * float) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let total = ref 0 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.Trace.ev_cat = "fault" then begin
+        incr total;
+        let count, pes, first, last =
+          match Hashtbl.find_opt table ev.Trace.ev_name with
+          | Some r -> r
+          | None -> (0, Hashtbl.create 8, ev.Trace.ev_ts, ev.Trace.ev_ts)
+        in
+        Hashtbl.replace pes ev.Trace.ev_tid ();
+        Hashtbl.replace table ev.Trace.ev_name
+          ( count + 1,
+            pes,
+            Float.min first ev.Trace.ev_ts,
+            Float.max last ev.Trace.ev_ts )
+      end)
+    events;
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "fault events (%d total):\n" !total);
+  if !total = 0 then Buffer.add_string b "  (none)\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "  %-14s %8s %8s %12s %12s\n" "event" "count" "PEs"
+         "first cycle" "last cycle");
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (name, (count, pes, first, last)) ->
+           Buffer.add_string b
+             (Printf.sprintf "  %-14s %8d %8d %12.0f %12.0f\n" name count
+                (Hashtbl.length pes) first last))
+  end;
+  Buffer.contents b
+
 (** {1 Simulated vs analytic deviation} *)
 
 type deviation = {

@@ -52,6 +52,12 @@ val link_histogram : ?buckets:int -> Trace.event list -> (string * int * int) li
 
 val link_table : Trace.event list -> string
 
+(** Summary of the [cat = "fault"] events a fault-injection run emitted:
+    one row per event name (drop, corrupt, stall, halt, backpressure,
+    retry, giveup, halt-timeout) with count, distinct affected PEs and
+    the first/last cycle observed. *)
+val fault_table : Trace.event list -> string
+
 type deviation = {
   dv_bench : string;
   dv_machine : string;

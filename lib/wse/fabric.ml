@@ -24,6 +24,7 @@ module Csl = Wsc_core.Csl
 module Bufview = Wsc_core.Bufview
 module Dmp = Wsc_dialects.Dmp
 module Trace = Wsc_trace.Trace
+module Faults = Wsc_faults.Faults
 
 exception Sim_error of string
 
@@ -255,6 +256,10 @@ type t = {
       (** where the simulator reports spans and link transfers; with
           {!Trace.null} (the default) every site is a dead branch and
           results are bit-identical to an untraced run *)
+  faults : Faults.t;
+      (** fault-injection schedule and resilience bookkeeping; with
+          {!Faults.null} (the default) every injection site is a dead
+          branch, exactly like the trace sink *)
 }
 
 let new_pe (program : op) x y : pe =
@@ -310,7 +315,8 @@ let new_pe (program : op) x y : pe =
     [Wsc_perf.Wse_perf] instead of being simulated whole. *)
 let max_simulated_pes = 64 * 1024
 
-let create ?(trace = Trace.null) (machine : Machine.t) (program : op) : t =
+let create ?(trace = Trace.null) ?(faults = Faults.null) (machine : Machine.t)
+    (program : op) : t =
   let width = int_attr_exn program "width" in
   let height = int_attr_exn program "height" in
   if width > machine.max_width || height > machine.max_height then
@@ -357,6 +363,7 @@ let create ?(trace = Trace.null) (machine : Machine.t) (program : op) : t =
     nz = int_attr_exn program "nz";
     sched = Sched.create ();
     trace;
+    faults;
   }
 
 (** {1 Trace emission}
@@ -403,6 +410,137 @@ let trace_link (sim : t) ~(src : pe) ~(dst : pe) ~(dir : Dmp.direction)
     Trace.flow_end sim.trace ~pid:Trace.fabric_pid ~tid:(tid_of sim dst)
       ~cat:"link" ~name:"xfer" ~id arrival
   end
+
+(** {1 Fault injection}
+
+    Injection sites mirror the trace sites: every decision sits behind a
+    {!Faults.enabled} branch so the {!Faults.null} injector (and any
+    injector with all rates zero) leaves the simulation bit-identical to
+    the seed simulator.  Decisions are pure hashes of the campaign seed
+    and the site's coordinates, never of execution order, so both
+    drivers agree on every fault (see {!Wsc_faults.Faults}). *)
+
+let trace_fault (sim : t) (pe : pe) ~(name : string) (ts : float) : unit =
+  if Trace.enabled sim.trace then
+    Trace.instant sim.trace ~pid:Trace.fabric_pid ~tid:(tid_of sim pe)
+      ~cat:"fault" ~name ts
+
+(** What a chunk-column delivery amounts to after the link's faults and
+    (when enabled) the recovery protocol have run their course. *)
+type delivery =
+  | Clean  (** payload intact *)
+  | Damaged of int * float  (** element index hit, additive noise *)
+  | Lost  (** wavelets never delivered: the slot reads as zeroes *)
+
+(** Resolve the fate of one chunk-column crossing the link from the
+    sender at hop distance [d]: apply a backpressure spike, then either
+    let a transient drop/corruption land undetected (no resilience) or
+    drive the detection & recovery protocol — per-wavelet checksums
+    catch corruption on arrival, a receiver timeout with bounded
+    exponential backoff catches loss, and each retransmission re-pays
+    the NACK round trip plus chunk re-injection — until a clean copy
+    lands or the receiver exhausts [max_retries] and gives up.  Returns
+    the delivery time and the payload outcome.  All costs are charged
+    receiver-side (the sender's router retransmits autonomously), so no
+    other PE's state is touched and driver bit-identity is preserved. *)
+let link_outcome (sim : t) (pe : pe) ~(apply : int) ~(seq : int) ~(chunk : int)
+    ~(input : int) ~(sx : int) ~(sy : int) ~(d : int) ~(col : float array)
+    ~(off : int) ~(cs : int) (at : float) : float * delivery =
+  let f = sim.faults in
+  let st = Faults.stats f in
+  let m = sim.machine in
+  let dx = pe.px and dy = pe.py in
+  let at = ref at in
+  if Faults.backpressure_here f ~apply ~seq ~chunk ~input ~sx ~sy ~dx ~dy then begin
+    st.backpressures <- st.backpressures + 1;
+    at := !at +. (Faults.config f).backpressure_cycles;
+    trace_fault sim pe ~name:"backpressure" !at
+  end;
+  let fault attempt =
+    if Faults.drop_here f ~apply ~seq ~chunk ~input ~sx ~sy ~dx ~dy ~attempt
+    then Some Lost
+    else if
+      Faults.corrupt_here f ~apply ~seq ~chunk ~input ~sx ~sy ~dx ~dy ~attempt
+    then
+      let idx, noise =
+        Faults.corruption f ~apply ~seq ~chunk ~input ~sx ~sy ~dx ~dy ~attempt
+          ~len:cs
+      in
+      Some (Damaged (idx, noise))
+    else None
+  in
+  match (Faults.config f).resilience with
+  | None -> (
+      (* no protocol: whatever the link did is what the PE computes on *)
+      match fault 0 with
+      | None -> (!at, Clean)
+      | Some Lost ->
+          st.drops <- st.drops + 1;
+          trace_fault sim pe ~name:"drop" !at;
+          (!at, Lost)
+      | Some (Damaged _ as dmg) ->
+          st.corrupts <- st.corrupts + 1;
+          trace_fault sim pe ~name:"corrupt" !at;
+          (!at, dmg)
+      | Some Clean -> assert false)
+  | Some r ->
+      let self_mul = if m.self_send then 2.0 else 1.0 in
+      let reinject = float_of_int cs *. m.send_cycles_per_elem *. self_mul in
+      let rtt = float_of_int (2 * d * m.hop_cycles) in
+      let rec attempt a =
+        match fault a with
+        | None ->
+            (* on the wire intact; the receiver-side checksum agrees
+               with the one carried in the wavelet header, so accept *)
+            (!at, Clean)
+        | Some outcome ->
+            let detected =
+              match outcome with
+              | Lost ->
+                  st.drops <- st.drops + 1;
+                  trace_fault sim pe ~name:"drop" !at;
+                  (* loss is always detected: the sequence number never
+                     arrives and the receiver timeout fires *)
+                  true
+              | Damaged (idx, noise) ->
+                  st.corrupts <- st.corrupts + 1;
+                  trace_fault sim pe ~name:"corrupt" !at;
+                  (* receiver-side integrity check: recompute the
+                     checksum over the damaged copy and compare against
+                     the sender's (computed over the snapshot); only a
+                     checksum collision goes undetected *)
+                  let damaged = Array.sub col off cs in
+                  damaged.(idx) <- damaged.(idx) +. noise;
+                  Faults.checksum damaged ~off:0 ~len:cs
+                  <> Faults.checksum col ~off ~len:cs
+              | Clean -> assert false
+            in
+            if not detected then
+              (!at, outcome) (* undetected corruption: delivered as-is *)
+            else if a >= r.Faults.max_retries then begin
+              st.giveups <- st.giveups + 1;
+              Faults.taint f ~x:pe.px ~y:pe.py;
+              trace_fault sim pe ~name:"giveup" !at;
+              (!at, Lost)
+            end
+            else begin
+              (* loss is detected by the sequence-number timeout (with
+                 exponential backoff); corruption by the checksum, which
+                 NACKs immediately *)
+              let wait =
+                match outcome with
+                | Lost -> Faults.backoff r ~attempt:(a + 1)
+                | _ -> 0.0
+              in
+              let cost = wait +. rtt +. reinject in
+              at := !at +. cost;
+              st.retries <- st.retries + 1;
+              st.recovery_cycles <- st.recovery_cycles +. cost;
+              trace_fault sim pe ~name:"retry" !at;
+              attempt (a + 1)
+            end
+      in
+      attempt 0
 
 (** {1 csl-op execution on one PE} *)
 
@@ -652,6 +790,10 @@ let register_send (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) : unit =
       inject_start pe.clock;
   Hashtbl.replace sim.sends (cfg.apply_id, seq, pe.px, pe.py)
     { sr_chunk_ready = ready; sr_data = data };
+  (* taint propagation: data computed from substituted or unrecoverable
+     inputs invalidates every receiver that reduces this send *)
+  if Faults.enabled sim.faults && Faults.is_tainted sim.faults ~x:pe.px ~y:pe.py
+  then Faults.taint_send sim.faults ~apply:cfg.apply_id ~seq ~x:pe.px ~y:pe.py;
   (* wake any neighbour parked on this send *)
   let woken = Sched.notify sim.sched (cfg.apply_id, seq, pe.px, pe.py) in
   if Trace.enabled sim.trace then
@@ -669,21 +811,35 @@ let halo_slot (inp : input_cfg) : int =
     Option.value (int_of_string_opt (String.sub p 9 (String.length p - 9))) ~default:0
   else 0
 
+(** Where a receiver's column comes from. *)
+type source =
+  | Src_fabric of float array * float array
+      (** neighbour's snapshot and per-chunk injection-ready times *)
+  | Src_halo of float array  (** host-resident boundary column *)
+  | Src_skipped
+      (** the sender halted and the resilience layer degraded past it:
+          receivers substitute zeroes and mark their data invalid *)
+
 (** The column a receiver gets from offset (dx, dy): either a fabric
-    neighbour's snapshot or the host-resident boundary column.
-    Returns (column z-range data, chunk ready times — None for halo). *)
+    neighbour's snapshot or the host-resident boundary column. *)
 let source_column (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) ~(input : int)
-    ~(dx : int) ~(dy : int) : (float array * float array option) option =
+    ~(dx : int) ~(dy : int) : source option =
   let sx = pe.px + dx and sy = pe.py + dy in
   if in_grid sim sx sy then
     match Hashtbl.find_opt sim.sends (cfg.apply_id, seq, sx, sy) with
-    | Some sr -> Some (List.nth sr.sr_data input, Some sr.sr_chunk_ready)
-    | None -> None (* sender not ready: caller retries later *)
+    | Some sr -> Some (Src_fabric (List.nth sr.sr_data input, sr.sr_chunk_ready))
+    | None ->
+        if
+          Faults.enabled sim.faults
+          && Faults.is_skipped sim.faults ~apply:cfg.apply_id ~seq ~x:sx ~y:sy
+        then Some Src_skipped
+        else None (* sender not ready: caller retries later *)
   else begin
     (* boundary: Dirichlet column held host-side, always available *)
     let slot = halo_slot (List.nth cfg.inputs input) in
     match Hashtbl.find_opt sim.halo (sx, sy) with
-    | Some col -> Some (Array.sub col ((slot * sim.zfull) + cfg.z_base) cfg.c_nz, None)
+    | Some col ->
+        Some (Src_halo (Array.sub col ((slot * sim.zfull) + cfg.z_base) cfg.c_nz))
     | None -> fail "no boundary column for (%d,%d)" sx sy
   end
 
@@ -735,36 +891,77 @@ let rec complete_exchange (sim : t) (pe : pe) (w : waiting) : unit =
             let vx, vy = dir_vector sw.dir in
             let rcv = buffer_of pe (List.assoc sw.dir inp.rcv_bufs) in
             for d = 1 to sw.depth do
+              (* write [col] into this source's slot of the receive
+                 buffer, as damaged (or lost) by the link's outcome *)
+              let deliver (col : float array) (outcome : delivery) : unit =
+                if promoted then begin
+                  let c =
+                    match
+                      List.find_opt
+                        (fun (ci, cdx, cdy, _) ->
+                          ci = i && cdx = vx * d && cdy = vy * d)
+                        cfg.coeffs
+                    with
+                    | Some (_, _, _, c) -> c
+                    | None -> 0.0
+                  in
+                  match outcome with
+                  | Lost -> () (* the missing contribution reads as zero *)
+                  | Clean ->
+                      for z = 0 to cs - 1 do
+                        rcv.(z) <- rcv.(z) +. (c *. col.(off + z))
+                      done
+                  | Damaged (idx, noise) ->
+                      for z = 0 to cs - 1 do
+                        let v = col.(off + z) in
+                        let v = if z = idx then v +. noise else v in
+                        rcv.(z) <- rcv.(z) +. (c *. v)
+                      done
+                end
+                else
+                  match outcome with
+                  | Lost -> Array.fill rcv ((d - 1) * cs) cs 0.0
+                  | Clean -> Array.blit col off rcv ((d - 1) * cs) cs
+                  | Damaged (idx, noise) ->
+                      Array.blit col off rcv ((d - 1) * cs) cs;
+                      rcv.(((d - 1) * cs) + idx) <-
+                        rcv.(((d - 1) * cs) + idx) +. noise
+              in
               match
                 source_column sim pe cfg w.w_seq ~input:i ~dx:(vx * d) ~dy:(vy * d)
               with
-              | Some (col, ready) ->
-                  (match ready with
+              | Some (Src_halo col) ->
+                  (* host links are outside the fault model *)
+                  deliver col Clean
+              | Some (Src_fabric (col, r)) ->
+                  let sx = pe.px + (vx * d) and sy = pe.py + (vy * d) in
+                  let at0 = r.(k) +. float_of_int (d * m.hop_cycles) in
+                  let at, outcome =
+                    if Faults.enabled sim.faults then
+                      link_outcome sim pe ~apply:cfg.apply_id ~seq:w.w_seq
+                        ~chunk:k ~input:i ~sx ~sy ~d ~col ~off ~cs at0
+                    else (at0, Clean)
+                  in
+                  arrival := Float.max !arrival at;
+                  trace_link sim ~src:sim.pes.(sx).(sy) ~dst:pe ~dir:sw.dir
+                    ~chunk:k ~elems:cs ~ready:r.(k) ~arrival:at;
+                  if
+                    Faults.enabled sim.faults
+                    && Faults.is_tainted_send sim.faults ~apply:cfg.apply_id
+                         ~seq:w.w_seq ~x:sx ~y:sy
+                  then Faults.taint sim.faults ~x:pe.px ~y:pe.py;
+                  deliver col outcome
+              | Some Src_skipped ->
+                  (* sender halted: the receiver waited out the halt
+                     timeout, substitutes zeroes and marks itself *)
+                  (match (Faults.config sim.faults).resilience with
                   | Some r ->
-                      let at = r.(k) +. float_of_int (d * m.hop_cycles) in
-                      arrival := Float.max !arrival at;
-                      trace_link sim
-                        ~src:sim.pes.(pe.px + (vx * d)).(pe.py + (vy * d))
-                        ~dst:pe ~dir:sw.dir ~chunk:k ~elems:cs ~ready:r.(k)
-                        ~arrival:at
+                      arrival :=
+                        Float.max !arrival
+                          (w.w_registered_at +. r.Faults.halt_timeout_cycles)
                   | None -> ());
-                  if promoted then begin
-                    let c =
-                      match
-                        List.find_opt
-                          (fun (ci, cdx, cdy, _) ->
-                            ci = i && cdx = vx * d && cdy = vy * d)
-                          cfg.coeffs
-                      with
-                      | Some (_, _, _, c) -> c
-                      | None -> 0.0
-                    in
-                    for z = 0 to cs - 1 do
-                      rcv.(z) <- rcv.(z) +. (c *. col.(off + z))
-                    done
-                  end
-                  else
-                    Array.blit col off rcv ((d - 1) * cs) cs
+                  Faults.taint sim.faults ~x:pe.px ~y:pe.py;
+                  deliver [||] Lost
               | None -> fail "complete_exchange: sender disappeared"
             done)
           inp.swaps)
@@ -842,20 +1039,60 @@ let run_tasks (sim : t) (pe : pe) : bool =
       let rec extract acc = function
         | (t, name) :: rest when t = earliest -> ((t, name), List.rev_append acc rest)
         | e :: rest -> extract (e :: acc) rest
-        | [] -> assert false
+        | [] ->
+            fail
+              "PE(%d,%d): task-queue invariant violated: earliest activation \
+               %g vanished while dispatching (queue: [%s])"
+              pe.px pe.py earliest
+              (String.concat "; "
+                 (List.map (fun (at, n) -> Printf.sprintf "%s@%g" n at) q))
       in
-      let (t, name), rest = extract [] q in
-      pe.task_queue <- rest;
-      pe.clock <- Float.max pe.clock t;
-      let task_start = pe.clock in
-      let comms = exec_func sim pe name [] in
-      trace_span sim pe ~cat:"compute" ~name task_start pe.clock;
-      List.iter (start_exchange sim pe) comms;
-      true
+      (* fault injection at the dispatch point: the hardware scheduler is
+         where a stuck or dead PE stops taking work *)
+      let halted =
+        Faults.enabled sim.faults
+        && begin
+             let n = Faults.next_dispatch sim.faults ~x:pe.px ~y:pe.py in
+             if Faults.halt_here sim.faults ~x:pe.px ~y:pe.py ~activation:n
+             then begin
+               Faults.record_halt sim.faults ~x:pe.px ~y:pe.py;
+               trace_fault sim pe ~name:"halt" pe.clock;
+               true
+             end
+             else begin
+               if Faults.stall_here sim.faults ~x:pe.px ~y:pe.py ~activation:n
+               then begin
+                 let cycles = (Faults.config sim.faults).stall_cycles in
+                 (Faults.stats sim.faults).stalls <-
+                   (Faults.stats sim.faults).stalls + 1;
+                 trace_span sim pe ~cat:"fault" ~name:"stall" pe.clock
+                   (pe.clock +. cycles);
+                 pe.clock <- pe.clock +. cycles;
+                 pe.stats.wait_cycles <- pe.stats.wait_cycles +. cycles
+               end;
+               false
+             end
+           end
+      in
+      if halted then false
+      else begin
+        let (t, name), rest = extract [] q in
+        pe.task_queue <- rest;
+        pe.clock <- Float.max pe.clock t;
+        let task_start = pe.clock in
+        let comms = exec_func sim pe name [] in
+        trace_span sim pe ~cat:"compute" ~name task_start pe.clock;
+        List.iter (start_exchange sim pe) comms;
+        true
+      end
 
 (** Advance one PE as far as possible; returns true on progress. *)
 let step_pe (sim : t) (pe : pe) : bool =
-  if pe.finished then false
+  if
+    pe.finished
+    || Faults.enabled sim.faults
+       && Faults.is_halted sim.faults ~x:pe.px ~y:pe.py
+  then false
   else begin
     let progressed = ref false in
     let continue_ = ref true in
@@ -905,6 +1142,10 @@ let missing_senders (sim : t) (pe : pe) (w : waiting) : (int * int) list =
             if
               in_grid sim sx sy
               && (not (Hashtbl.mem sim.sends (w.w_cfg.apply_id, w.w_seq, sx, sy)))
+              && (not
+                    (Faults.enabled sim.faults
+                    && Faults.is_skipped sim.faults ~apply:w.w_cfg.apply_id
+                         ~seq:w.w_seq ~x:sx ~y:sy))
               && not (List.mem (sx, sy) !missing)
             then missing := (sx, sy) :: !missing
           done)
@@ -924,7 +1165,14 @@ let all_done (sim : t) : bool =
          Array.iter
            (fun pe ->
              st.probes <- st.probes + 1;
-             if not pe.finished then begin
+             (* a permanently halted PE will never unblock the command
+                stream; it is accounted for by the validity mask *)
+             if
+               (not pe.finished)
+               && not
+                    (Faults.enabled sim.faults
+                    && Faults.is_halted sim.faults ~x:pe.px ~y:pe.py)
+             then begin
                done_ := false;
                raise Exit
              end)
@@ -946,7 +1194,12 @@ let deadlock_report (sim : t) : string =
     (fun col ->
       Array.iter
         (fun pe ->
-          if not pe.finished then
+          if
+            (not pe.finished)
+            && not
+                 (Faults.enabled sim.faults
+                 && Faults.is_halted sim.faults ~x:pe.px ~y:pe.py)
+          then
             match pe.waiting with
             | Some w ->
                 incr blocked;
@@ -984,7 +1237,65 @@ let deadlock_report (sim : t) : string =
   Buffer.add_string buf
     (Printf.sprintf "  total: %d blocked, %d idle, of %dx%d PEs" !blocked !idle
        sim.width sim.height);
+  let halted = Faults.halted_count sim.faults in
+  if halted > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n  %d PE%s permanently halted by fault injection (enable resilience \
+          to degrade gracefully past them)"
+         halted
+         (if halted = 1 then "" else "s"));
   Buffer.contents buf
+
+(** Graceful degradation past halted PEs, run when the fabric has gone
+    quiescent without finishing: every live receiver blocked on a sender
+    that is permanently halted gives up after the resilience layer's
+    halt timeout — the pending send is marked skipped (receivers then
+    substitute zeroes and taint themselves at delivery) and any PE
+    parked on it is woken.  Returns whether anything new was marked; the
+    drivers alternate run / degrade rounds until either everything
+    finishes or degradation stops making progress (a true deadlock).
+    Without resilience (or with no injector) this is a no-op and the
+    quiescent fabric is reported as deadlocked, as in the seed. *)
+let degrade (sim : t) : bool =
+  let f = sim.faults in
+  if not (Faults.enabled f) then false
+  else
+    match (Faults.config f).resilience with
+    | None -> false
+    | Some r ->
+        let marked = ref false in
+        Array.iter
+          (fun col ->
+            Array.iter
+              (fun pe ->
+                if
+                  (not pe.finished)
+                  && not (Faults.is_halted f ~x:pe.px ~y:pe.py)
+                then
+                  match pe.waiting with
+                  | None -> ()
+                  | Some w ->
+                      List.iter
+                        (fun (sx, sy) ->
+                          if Faults.is_halted f ~x:sx ~y:sy then begin
+                            Faults.skip_send f ~apply:w.w_cfg.apply_id
+                              ~seq:w.w_seq ~x:sx ~y:sy;
+                            let st = Faults.stats f in
+                            st.halt_timeouts <- st.halt_timeouts + 1;
+                            st.recovery_cycles <-
+                              st.recovery_cycles +. r.Faults.halt_timeout_cycles;
+                            trace_fault sim pe ~name:"halt-timeout"
+                              (w.w_registered_at +. r.Faults.halt_timeout_cycles);
+                            marked := true;
+                            ignore
+                              (Sched.notify sim.sched
+                                 (w.w_cfg.apply_id, w.w_seq, sx, sy))
+                          end)
+                        (missing_senders sim pe w))
+              col)
+          sim.pes;
+        !marked
 
 (** {2 Drivers} *)
 
@@ -995,21 +1306,27 @@ type driver = Polling | Event_driven
     [sched] microbenchmark; the event-driven driver below is the default. *)
 let run_polling ~(max_rounds : int) (sim : t) : unit =
   let rounds = ref 0 in
-  let any = ref true in
-  while (not (all_done sim)) && !any do
-    incr rounds;
-    if !rounds > max_rounds then fail "simulation did not converge";
-    any := false;
-    Array.iter
-      (fun col ->
-        Array.iter
-          (fun pe ->
-            sim.sched.Sched.stats.scans <- sim.sched.Sched.stats.scans + 1;
-            if step_pe sim pe then any := true)
-          col)
-      sim.pes
-  done;
-  if not (all_done sim) then raise (Sim_error (deadlock_report sim))
+  let rec drive () =
+    let any = ref true in
+    while (not (all_done sim)) && !any do
+      incr rounds;
+      if !rounds > max_rounds then fail "simulation did not converge";
+      any := false;
+      Array.iter
+        (fun col ->
+          Array.iter
+            (fun pe ->
+              sim.sched.Sched.stats.scans <- sim.sched.Sched.stats.scans + 1;
+              if step_pe sim pe then any := true)
+            col)
+        sim.pes
+    done;
+    if not (all_done sim) then
+      (* quiescent but unfinished: degrade past halted PEs and rerun *)
+      if degrade sim then drive ()
+      else raise (Sim_error (deadlock_report sim))
+  in
+  drive ()
 
 (** Event-driven driver: pop runnable PEs off the ready queue; a PE that
     blocks on an exchange parks on the wake list of its first missing
@@ -1033,7 +1350,10 @@ let run_event ~(max_rounds : int) (sim : t) : unit =
         s.Sched.stats.scans <- s.Sched.stats.scans + 1;
         if s.Sched.stats.scans > budget then fail "simulation did not converge";
         ignore (step_pe sim pe);
-        if not pe.finished then begin
+        let halted =
+          Faults.enabled sim.faults && Faults.is_halted sim.faults ~x ~y
+        in
+        if (not pe.finished) && not halted then begin
           match pe.waiting with
           | Some w -> (
               match missing_senders sim pe w with
@@ -1052,8 +1372,15 @@ let run_event ~(max_rounds : int) (sim : t) : unit =
         end;
         loop ()
   in
-  loop ();
-  if not (all_done sim) then raise (Sim_error (deadlock_report sim))
+  let rec drive () =
+    loop ();
+    if not (all_done sim) then
+      (* the queue drained but PEs are still blocked: degrade past any
+         halted senders (which wakes their parked receivers) and rerun *)
+      if degrade sim then drive ()
+      else raise (Sim_error (deadlock_report sim))
+  in
+  drive ()
 
 (** Drive until every PE unblocks the command stream. *)
 let run_to_completion ?max_rounds ?(driver = Event_driven) (sim : t) : unit =
@@ -1067,6 +1394,21 @@ let run_to_completion ?max_rounds ?(driver = Event_driven) (sim : t) : unit =
 
 (** Scheduler counters of the last run. *)
 let sched_stats (sim : t) : Sched.stats = Sched.stats sim.sched
+
+(** Fault and recovery counters of the last run (all zero with the null
+    injector). *)
+let fault_stats (sim : t) : Faults.stats = Faults.stats sim.faults
+
+(** Per-PE validity mask, indexed [x][y]: false where the PE halted or
+    consumed substituted / unrecoverable data (directly or transitively
+    through a tainted neighbour's send).  All-true with the null
+    injector. *)
+let validity (sim : t) : bool array array =
+  Array.init sim.width (fun x ->
+      Array.init sim.height (fun y ->
+          not
+            (Faults.is_halted sim.faults ~x ~y
+            || Faults.is_tainted sim.faults ~x ~y)))
 
 (** Wall-clock of the slowest PE, in cycles and seconds. *)
 let elapsed_cycles (sim : t) : float =

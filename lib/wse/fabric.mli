@@ -93,6 +93,10 @@ type t = {
       (** where the simulator reports spans and link transfers; with
           {!Wsc_trace.Trace.null} every emission site is a dead branch
           and results are bit-identical to an untraced run *)
+  faults : Wsc_faults.Faults.t;
+      (** fault-injection schedule and resilience bookkeeping; with
+          {!Wsc_faults.Faults.null} (the default) every injection site
+          is a dead branch, exactly like the trace sink *)
 }
 
 and send_record
@@ -104,10 +108,19 @@ val max_simulated_pes : int
 (** Instantiate the PE grid for a program module.  [trace] (default
     {!Wsc_trace.Trace.null}) receives per-PE spans (compute, send,
     parked-on-exchange, drain), scheduler wake/park instants and
-    per-link transfer flows as the simulation runs.
+    per-link transfer flows as the simulation runs.  [faults] (default
+    {!Wsc_faults.Faults.null}) injects the configured fault schedule
+    into task dispatch and link delivery, and — when its config enables
+    resilience — drives the detection & recovery protocol of the
+    simulated comms layer.
     @raise Sim_error when the grid exceeds the fabric, is too large to
     simulate in-process, or the program's per-PE memory exceeds 48 kB. *)
-val create : ?trace:Wsc_trace.Trace.sink -> Machine.t -> Wsc_ir.Ir.op -> t
+val create :
+  ?trace:Wsc_trace.Trace.sink ->
+  ?faults:Wsc_faults.Faults.t ->
+  Machine.t ->
+  Wsc_ir.Ir.op ->
+  t
 
 val in_grid : t -> int -> int -> bool
 
@@ -137,6 +150,16 @@ val run_to_completion : ?max_rounds:int -> ?driver:driver -> t -> unit
 (** Scheduler counters of the last run (scans, wakeups, parks, queue
     depth); the polling driver only advances [scans]. *)
 val sched_stats : t -> Sched.stats
+
+(** Fault and recovery counters of the last run (all zero with the null
+    injector). *)
+val fault_stats : t -> Wsc_faults.Faults.stats
+
+(** Per-PE validity mask, indexed [x][y]: false where the PE halted or
+    consumed substituted / unrecoverable data (directly or transitively
+    through a tainted neighbour's send).  All-true with the null
+    injector. *)
+val validity : t -> bool array array
 
 (** Wall-clock of the slowest PE. *)
 val elapsed_cycles : t -> float

@@ -29,9 +29,9 @@ let column_of_grid (g : I.grid) (x : int) (y : int) : float array =
 (** Create the simulator and copy the initial state in; [trace] is
     handed to the fabric and also carries host-side markers (load,
     run completion, readback) on its own track. *)
-let load ?(trace = Trace.null) (machine : Machine.t) (program : op)
-    (init_grids : I.grid list) : t =
-  let sim = Fabric.create ~trace machine program in
+let load ?(trace = Trace.null) ?(faults = Wsc_faults.Faults.null)
+    (machine : Machine.t) (program : op) (init_grids : I.grid list) : t =
+  let sim = Fabric.create ~trace ~faults machine program in
   if Trace.enabled trace then begin
     Trace.name_process trace ~pid:Trace.host_pid "host";
     Trace.name_track trace ~pid:Trace.host_pid ~tid:0 "host runtime";
@@ -105,14 +105,52 @@ let read_state (h : t) (j : int) : I.grid =
 let read_all (h : t) : I.grid list =
   List.mapi (fun j _ -> read_state h j) h.init_grids
 
+(** {1 Graceful degradation reporting} *)
+
+let validity (h : t) : bool array array = Fabric.validity h.sim
+
+(** Human-readable account of the regions fault injection invalidated:
+    [None] when every PE's data is valid, otherwise the number of
+    affected PEs, their bounding box, and the first few coordinates —
+    what the host prints instead of crashing when a run degraded past
+    halted or unrecoverable PEs. *)
+let fault_report (h : t) : string option =
+  let mask = validity h in
+  let bad = ref [] and n = ref 0 in
+  let x0 = ref max_int and y0 = ref max_int and x1 = ref (-1) and y1 = ref (-1) in
+  Array.iteri
+    (fun x col ->
+      Array.iteri
+        (fun y ok ->
+          if not ok then begin
+            incr n;
+            if !n <= 8 then bad := (x, y) :: !bad;
+            x0 := min !x0 x;
+            y0 := min !y0 y;
+            x1 := max !x1 x;
+            y1 := max !y1 y
+          end)
+        col)
+    mask;
+  if !n = 0 then None
+  else
+    Some
+      (Printf.sprintf
+         "%d of %d PEs hold invalid data (region x:%d-%d y:%d-%d): %s%s" !n
+         (h.sim.Fabric.width * h.sim.Fabric.height)
+         !x0 !x1 !y0 !y1
+         (String.concat ", "
+            (List.rev_map (fun (x, y) -> Printf.sprintf "PE(%d,%d)" x y) !bad))
+         (if !n > 8 then ", ..." else ""))
+
 (** {1 Convenience: compile + run + compare} *)
 
 (** Simulate a compiled program on freshly initialized grids; returns the
     host handle after completion. *)
-let simulate ?driver ?trace (machine : Machine.t) (compiled : op)
+let simulate ?driver ?trace ?faults (machine : Machine.t) (compiled : op)
     (init_grids : I.grid list) : t =
   let _, program = Wsc_core.Pipeline.modules_of compiled in
-  let h = load ?trace machine program init_grids in
+  let h = load ?trace ?faults machine program init_grids in
   run ?driver h;
   let tr = h.sim.Fabric.trace in
   if Trace.enabled tr then
