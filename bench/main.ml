@@ -447,17 +447,18 @@ let json_summary (path : string) : unit =
       ]
   in
   let doc =
-    J.Obj
-      [
-        ("machine", J.String machine.Machine.name);
-        ("proxy_extent", J.Int extent);
-        ("iterations", J.Int iters);
-        ( "benchmarks",
-          J.List
-            (List.concat_map
-               (fun d -> [ entry d F.Polling; entry d F.Event_driven ])
-               B.all) );
-      ]
+    (* shared --json envelope, same shape as wsc faults / wsc fuzz *)
+    J.summary ~tool:"bench"
+      ~config:
+        [
+          ("machine", J.String machine.Machine.name);
+          ("proxy_extent", J.Int extent);
+          ("iterations", J.Int iters);
+        ]
+      ~results:
+        (List.concat_map
+           (fun d -> [ entry d F.Polling; entry d F.Event_driven ])
+           B.all)
   in
   let oc = open_out path in
   J.to_channel oc doc;

@@ -8,7 +8,10 @@
     - [trace]: simulate with the event collector attached and export a
       Chrome-trace JSON timeline plus profiling tables;
     - [perf]: report simulated throughput for a benchmark/machine/size;
-    - [ir]: print the IR after a chosen pipeline stage. *)
+    - [ir]: print the IR after a chosen pipeline stage;
+    - [fuzz]: run a seeded differential-testing campaign (random
+      programs, three cross-checked executions, crash artifacts);
+    - [reduce]: shrink a crash artifact to a minimal reproducer. *)
 
 open Cmdliner
 module B = Wsc_benchmarks.Benchmarks
@@ -390,6 +393,188 @@ let faults_cmd =
        $ kinds_arg $ rates_arg $ seeds_arg $ no_resilience_arg $ faults_json_arg
        $ faults_trace_arg))
 
+(* ---------------- fuzz / reduce ---------------- *)
+
+module H = Wsc_harden
+
+let fuzz_count_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "c"; "count" ] ~docv:"N" ~doc:"How many programs to generate.")
+
+let fuzz_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Campaign seed: case $(i,i) depends only on (SEED, $(i,i)), so the \
+           same seed replays the identical campaign.")
+
+let crash_dir_arg =
+  Arg.(
+    value & opt string "crashes"
+    & info [ "crash-dir" ] ~docv:"DIR"
+        ~doc:"Where failing cases are dumped as crash artifacts.")
+
+let inject_bug_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-bug" ]
+        ~doc:
+          "Test-only: splice a deliberately wrong pass into the pipeline to \
+           prove the harness catches, dumps and reduces a miscompile.")
+
+let reduce_budget_arg =
+  Arg.(
+    value & opt int 150
+    & info [ "reduce-budget" ] ~docv:"N"
+        ~doc:
+          "Max oracle re-runs while reducing one failing case (0 disables \
+           reduction).")
+
+let fuzz_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the campaign summary as JSON.")
+
+let write_json (path : string) (doc : Wsc_trace.Json.t) : unit =
+  let oc = open_out path in
+  Wsc_trace.Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let fuzz_cmd =
+  let run count seed machine crash_dir inject_bug reduce_budget json_out =
+    let cfg =
+      {
+        H.Campaign.seed;
+        count;
+        machine;
+        crash_dir;
+        inject_bug;
+        reduce_budget;
+      }
+    in
+    let on_case (c : H.Campaign.case) =
+      match c.H.Campaign.c_failure with
+      | None -> ()
+      | Some key ->
+          Printf.eprintf "wsc fuzz: case %d failed [%s]\n%!" c.H.Campaign.c_index
+            key
+    in
+    let report = H.Campaign.run ~on_case cfg in
+    print_string (H.Campaign.to_string report);
+    (match json_out with
+    | Some path -> write_json path (H.Campaign.to_json report)
+    | None -> ());
+    if H.Campaign.crashes report > 0 then exit 1;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate seeded random stencil programs and cross-check three \
+          executions of each (reference interpreter, mid-level interpretation, \
+          fabric simulation) plus a print/parse fixpoint at every pass \
+          boundary; failing cases are reduced and dumped as crash artifacts.")
+    Term.(
+      term_result
+        (const run $ fuzz_count_arg $ fuzz_seed_arg $ machine_arg $ crash_dir_arg
+       $ inject_bug_arg $ reduce_budget_arg $ fuzz_json_arg))
+
+let crash_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CRASH"
+        ~doc:"A crash directory (or its report.json) written by wsc fuzz.")
+
+let reduce_cmd =
+  let run path machine reduce_budget json_out =
+    match H.Artifact.load path with
+    | Error msg -> Error (`Msg ("reduce: " ^ msg))
+    | Ok a ->
+        let inject_bug = a.H.Artifact.inject_bug in
+        let key_of q =
+          match (H.Oracle.check ~inject_bug ~machine q).H.Oracle.failure with
+          | Some f -> Some (H.Oracle.failure_key f)
+          | None -> None
+        in
+        if key_of a.H.Artifact.program <> Some a.H.Artifact.key then
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "reduce: crash %s does not reproduce failure [%s]"
+                 (H.Artifact.name a) a.H.Artifact.key))
+        else begin
+          (* restart from the stored reduction when one exists *)
+          let start =
+            match a.H.Artifact.reduced with
+            | Some r -> r
+            | None -> a.H.Artifact.program
+          in
+          let r =
+            H.Reduce.reduce ~max_checks:reduce_budget
+              ~still_fails:(fun q -> key_of q = Some a.H.Artifact.key)
+              start
+          in
+          let original_size = H.Fuzz.program_size a.H.Artifact.program in
+          let reduced_size = H.Fuzz.program_size r.H.Reduce.reduced in
+          let parent =
+            (* the artifact lives in <crash_dir>/<name>/; recover
+               <crash_dir> from either form of the argument *)
+            if Sys.file_exists path && Sys.is_directory path then
+              Filename.dirname path
+            else Filename.dirname (Filename.dirname path)
+          in
+          let dir =
+            H.Artifact.save ~dir:parent
+              { a with H.Artifact.reduced = Some r.H.Reduce.reduced }
+          in
+          Printf.printf
+            "reduced %s [%s]: size %d -> %d (%d steps, %d oracle checks)\n"
+            (H.Artifact.name a) a.H.Artifact.key original_size reduced_size
+            r.H.Reduce.steps r.H.Reduce.checks;
+          Printf.printf "  program: %s\n" (H.Fuzz.describe a.H.Artifact.program);
+          Printf.printf "  reduced: %s\n" (H.Fuzz.describe r.H.Reduce.reduced);
+          Printf.printf "  updated %s\n" dir;
+          (match json_out with
+          | Some out ->
+              write_json out
+                (Wsc_trace.Json.summary ~tool:"reduce"
+                   ~config:
+                     [
+                       ("crash", Wsc_trace.Json.String (H.Artifact.name a));
+                       ("key", Wsc_trace.Json.String a.H.Artifact.key);
+                     ]
+                   ~results:
+                     [
+                       Wsc_trace.Json.Obj
+                         [
+                           ("original_size", Wsc_trace.Json.Int original_size);
+                           ("reduced_size", Wsc_trace.Json.Int reduced_size);
+                           ("steps", Wsc_trace.Json.Int r.H.Reduce.steps);
+                           ("checks", Wsc_trace.Json.Int r.H.Reduce.checks);
+                           ( "reduced",
+                             H.Fuzz.program_to_json r.H.Reduce.reduced );
+                         ];
+                     ])
+          | None -> ());
+          Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:
+         "Re-run the differential oracle on a crash artifact and shrink the \
+          failing program to a minimal reproducer (delta debugging), updating \
+          the artifact in place.")
+    Term.(
+      term_result
+        (const run $ crash_arg $ machine_arg $ reduce_budget_arg $ fuzz_json_arg))
+
 (* ---------------- perf ---------------- *)
 
 let perf_cmd =
@@ -459,13 +644,26 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group info
-           [ compile_cmd; simulate_cmd; trace_cmd; faults_cmd; perf_cmd; ir_cmd ])
+           [
+             compile_cmd;
+             simulate_cmd;
+             trace_cmd;
+             faults_cmd;
+             fuzz_cmd;
+             reduce_cmd;
+             perf_cmd;
+             ir_cmd;
+           ])
     with
     | Wsc_wse.Fabric.Sim_error msg
     | Wsc_wse.Host.Host_error msg
     | Wsc_core.To_csl_stencil.Lowering_error msg
     | Wsc_core.To_actors.Actor_error msg ->
         prerr_endline ("wsc: " ^ msg);
+        2
+    | Wsc_ir.Parser.Parse_error (_, msg) ->
+        (* msg already names the offending token's line/column *)
+        prerr_endline ("wsc: parse error: " ^ msg);
         2
     | Wsc_ir.Pass.Pass_failed (pass, exn) ->
         prerr_endline

@@ -240,17 +240,11 @@ let cell_to_json (c : cell) : Json.t =
       ("seed", Json.Int c.seed);
       ("completed", Json.Bool c.completed);
       ("survived", Json.Bool c.survived);
-      ( "divergence",
-        if Float.is_nan c.divergence then Json.Null else Json.Float c.divergence
-      );
+      ("divergence", Json.float_or_null c.divergence);
       ("valid_pes", Json.Int c.valid_pes);
       ("total_pes", Json.Int c.total_pes);
-      ( "elapsed_cycles",
-        if Float.is_nan c.elapsed_cycles then Json.Null
-        else Json.Float c.elapsed_cycles );
-      ( "overhead_cycles",
-        if Float.is_nan c.overhead_cycles then Json.Null
-        else Json.Float c.overhead_cycles );
+      ("elapsed_cycles", Json.float_or_null c.elapsed_cycles);
+      ("overhead_cycles", Json.float_or_null c.overhead_cycles);
       ("recovery_cycles", Json.Float c.recovery_cycles);
       ("injected", Json.Int c.injected);
       ("retries", Json.Int c.retries);
@@ -260,16 +254,20 @@ let cell_to_json (c : cell) : Json.t =
         match c.error with None -> Json.Null | Some e -> Json.String e );
     ]
 
+(** Shared [--json] envelope (see {!Wsc_trace.Json.summary}): campaign
+    parameters and campaign-level aggregates under ["config"], one cell
+    per entry of ["results"]. *)
 let to_json (r : report) : Json.t =
-  Json.Obj
-    [
-      ("bench", Json.String r.bench);
-      ("machine", Json.String r.machine);
-      ("size", Json.String r.size);
-      ("iterations", Json.Int r.iterations);
-      ("driver", Json.String r.driver);
-      ("resilient", Json.Bool r.resilient);
-      ("baseline_cycles", Json.Float r.baseline_cycles);
-      ("survival_rate", Json.Float (survival_rate r));
-      ("cells", Json.List (List.map cell_to_json r.cells));
-    ]
+  Json.summary ~tool:"faults"
+    ~config:
+      [
+        ("bench", Json.String r.bench);
+        ("machine", Json.String r.machine);
+        ("size", Json.String r.size);
+        ("iterations", Json.Int r.iterations);
+        ("driver", Json.String r.driver);
+        ("resilient", Json.Bool r.resilient);
+        ("baseline_cycles", Json.Float r.baseline_cycles);
+        ("survival_rate", Json.Float (survival_rate r));
+      ]
+    ~results:(List.map cell_to_json r.cells)

@@ -1,0 +1,118 @@
+(** Crash artifact dump/load — see the interface for the layout. *)
+
+module P = Wsc_frontends.Stencil_program
+module Json = Wsc_trace.Json
+
+type t = {
+  seed : int;
+  index : int;
+  inject_bug : bool;
+  key : string;
+  detail : string;
+  program : P.t;
+  reduced : P.t option;
+  ir_before : string option;
+  ir_after : string option;
+}
+
+let name (a : t) : string = Printf.sprintf "crash-s%d-c%d" a.seed a.index
+
+let rec mkdir_p (dir : string) : unit =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (* tolerate a concurrent create *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_file (path : string) (contents : string) : unit =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let to_json (a : t) : Json.t =
+  Json.Obj
+    [
+      ("tool", Json.String "fuzz-crash");
+      ("schema_version", Json.Int 1);
+      ("seed", Json.Int a.seed);
+      ("index", Json.Int a.index);
+      ("inject_bug", Json.Bool a.inject_bug);
+      ("key", Json.String a.key);
+      ("detail", Json.String a.detail);
+      ("program", Fuzz.program_to_json a.program);
+      ( "reduced",
+        match a.reduced with None -> Json.Null | Some r -> Fuzz.program_to_json r );
+    ]
+
+let save ~(dir : string) (a : t) : string =
+  let crash_dir = Filename.concat dir (name a) in
+  mkdir_p crash_dir;
+  write_file
+    (Filename.concat crash_dir "report.json")
+    (Json.to_string (to_json a) ^ "\n");
+  (match a.ir_before with
+  | Some ir -> write_file (Filename.concat crash_dir "before.mlir") ir
+  | None -> ());
+  (match a.ir_after with
+  | Some ir -> write_file (Filename.concat crash_dir "after.mlir") ir
+  | None -> ());
+  crash_dir
+
+let read_file (path : string) : (string, string) result =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+
+let ( let* ) = Result.bind
+
+let load (path : string) : (t, string) result =
+  let report =
+    if Sys.file_exists path && Sys.is_directory path then
+      Filename.concat path "report.json"
+    else path
+  in
+  let* text = read_file report in
+  let* v = Json.of_string text in
+  let int k =
+    match Json.member k v with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "%s: missing integer field '%s'" report k)
+  in
+  let str k =
+    match Json.member k v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "%s: missing string field '%s'" report k)
+  in
+  let* seed = int "seed" in
+  let* index = int "index" in
+  let inject_bug =
+    match Json.member "inject_bug" v with Some (Json.Bool b) -> b | _ -> false
+  in
+  let* key = str "key" in
+  let* detail = str "detail" in
+  let* program =
+    match Json.member "program" v with
+    | Some pv -> Fuzz.program_of_json pv
+    | None -> Error (report ^ ": missing field 'program'")
+  in
+  let* reduced =
+    match Json.member "reduced" v with
+    | None | Some Json.Null -> Ok None
+    | Some rv -> Result.map Option.some (Fuzz.program_of_json rv)
+  in
+  Ok
+    {
+      seed;
+      index;
+      inject_bug;
+      key;
+      detail;
+      program;
+      reduced;
+      ir_before = None;
+      ir_after = None;
+    }

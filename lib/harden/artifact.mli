@@ -1,0 +1,37 @@
+(** Structured crash artifacts: when the oracle rejects a program, the
+    campaign dumps everything a developer (or [wsc reduce]) needs to
+    replay the defect into one directory —
+
+    {v
+    <crash_dir>/<name>/report.json   seed, case index, failure key and
+                                     detail, the program and (when
+                                     reduction ran) the reduced program
+    <crash_dir>/<name>/before.mlir   IR entering the failing pass, or
+                                     the executed module on mismatches
+    <crash_dir>/<name>/after.mlir    IR after the failing pass (absent
+                                     when the pass crashed)
+    v} *)
+
+type t = {
+  seed : int;
+  index : int;
+  inject_bug : bool;  (** the crash was produced with the test-only bug pass *)
+  key : string;  (** {!Oracle.failure_key} bucket *)
+  detail : string;  (** human-readable failure description *)
+  program : Wsc_frontends.Stencil_program.t;
+  reduced : Wsc_frontends.Stencil_program.t option;
+  ir_before : string option;
+  ir_after : string option;
+}
+
+(** The crash's directory name: [crash-s<seed>-c<index>]. *)
+val name : t -> string
+
+(** Write the artifact under [dir] (created as needed); returns the
+    crash directory path. *)
+val save : dir:string -> t -> string
+
+(** Load an artifact from a crash directory or a [report.json] path
+    (the IR files are not read back — reduction only needs the
+    program). *)
+val load : string -> (t, string) result

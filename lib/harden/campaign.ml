@@ -1,0 +1,166 @@
+(** Fuzzing campaign runner — see the interface. *)
+
+module P = Wsc_frontends.Stencil_program
+module Json = Wsc_trace.Json
+
+type config = {
+  seed : int;
+  count : int;
+  machine : Wsc_wse.Machine.t;
+  crash_dir : string;
+  inject_bug : bool;
+  reduce_budget : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    count = 20;
+    machine = Wsc_wse.Machine.wse3;
+    crash_dir = "crashes";
+    inject_bug = false;
+    reduce_budget = 150;
+  }
+
+type case = {
+  c_index : int;
+  c_descr : string;
+  c_size : int;
+  c_failure : string option;
+  c_detail : string option;
+  c_reduced_size : int option;
+  c_checks : int;
+  c_artifact : string option;
+}
+
+type report = { cfg : config; cases : case list }
+
+let crashes (r : report) : int =
+  List.length (List.filter (fun c -> c.c_failure <> None) r.cases)
+
+let run_case (cfg : config) (index : int) : case =
+  let p = Fuzz.generate ~seed:cfg.seed ~index in
+  let base =
+    {
+      c_index = index;
+      c_descr = Fuzz.describe p;
+      c_size = Fuzz.program_size p;
+      c_failure = None;
+      c_detail = None;
+      c_reduced_size = None;
+      c_checks = 0;
+      c_artifact = None;
+    }
+  in
+  match Oracle.check ~inject_bug:cfg.inject_bug ~machine:cfg.machine p with
+  | { Oracle.failure = None; _ } -> base
+  | { Oracle.failure = Some f; ir_before; ir_after } ->
+      let key = Oracle.failure_key f in
+      let reduced, checks =
+        if cfg.reduce_budget <= 0 then (None, 0)
+        else begin
+          let still_fails q =
+            match
+              Oracle.check ~inject_bug:cfg.inject_bug ~machine:cfg.machine q
+            with
+            | { Oracle.failure = Some f'; _ } -> Oracle.failure_key f' = key
+            | _ -> false
+          in
+          let r = Reduce.reduce ~max_checks:cfg.reduce_budget ~still_fails p in
+          ((if r.Reduce.steps > 0 then Some r.Reduce.reduced else None),
+           r.Reduce.checks)
+        end
+      in
+      let artifact =
+        Artifact.save ~dir:cfg.crash_dir
+          {
+            Artifact.seed = cfg.seed;
+            index;
+            inject_bug = cfg.inject_bug;
+            key;
+            detail = Oracle.failure_to_string f;
+            program = p;
+            reduced;
+            ir_before;
+            ir_after;
+          }
+      in
+      {
+        base with
+        c_failure = Some key;
+        c_detail = Some (Oracle.failure_to_string f);
+        c_reduced_size = Option.map Fuzz.program_size reduced;
+        c_checks = checks;
+        c_artifact = Some artifact;
+      }
+
+let run ?(on_case = fun _ -> ()) (cfg : config) : report =
+  let rec go i acc =
+    if i >= cfg.count then List.rev acc
+    else begin
+      let c = run_case cfg i in
+      on_case c;
+      go (i + 1) (c :: acc)
+    end
+  in
+  { cfg; cases = go 0 [] }
+
+(* ------------------------------------------------------------------ *)
+(* reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_string (r : report) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fuzz campaign: %d programs, seed %d, machine %s%s\n" r.cfg.count
+       r.cfg.seed r.cfg.machine.Wsc_wse.Machine.name
+       (if r.cfg.inject_bug then " (test bug injected)" else ""));
+  List.iter
+    (fun c ->
+      match c.c_failure with
+      | None -> ()
+      | Some key ->
+          Buffer.add_string buf
+            (Printf.sprintf "  case %d FAILED [%s] size %d%s\n    %s\n    -> %s\n"
+               c.c_index key c.c_size
+               (match c.c_reduced_size with
+               | Some s -> Printf.sprintf " (reduced to %d in %d checks)" s c.c_checks
+               | None -> "")
+               (Option.value ~default:"" c.c_detail)
+               (Option.value ~default:"" c.c_artifact)))
+    r.cases;
+  Buffer.add_string buf
+    (Printf.sprintf "crashes: %d/%d\n" (crashes r) (List.length r.cases));
+  Buffer.contents buf
+
+let case_to_json (c : case) : Json.t =
+  Json.Obj
+    [
+      ("index", Json.Int c.c_index);
+      ("program", Json.String c.c_descr);
+      ("size", Json.Int c.c_size);
+      ( "failure",
+        match c.c_failure with None -> Json.Null | Some k -> Json.String k );
+      ( "detail",
+        match c.c_detail with None -> Json.Null | Some d -> Json.String d );
+      ( "reduced_size",
+        match c.c_reduced_size with None -> Json.Null | Some s -> Json.Int s );
+      ("reduce_checks", Json.Int c.c_checks);
+      ( "artifact",
+        match c.c_artifact with None -> Json.Null | Some p -> Json.String p );
+    ]
+
+let to_json (r : report) : Json.t =
+  Json.summary ~tool:"fuzz"
+    ~config:
+      [
+        ("seed", Json.Int r.cfg.seed);
+        ("count", Json.Int r.cfg.count);
+        ("machine", Json.String r.cfg.machine.Wsc_wse.Machine.name);
+        ("crash_dir", Json.String r.cfg.crash_dir);
+        ("inject_bug", Json.Bool r.cfg.inject_bug);
+        ("reduce_budget", Json.Int r.cfg.reduce_budget);
+        ("crashes", Json.Int (crashes r));
+      ]
+    ~results:(List.map case_to_json r.cases)

@@ -1,0 +1,43 @@
+(** Fuzzing campaign: [count] seeded programs through the differential
+    oracle; failures are reduced and dumped as crash artifacts.
+
+    Determinism: case [i] only depends on (seed, i), and the report
+    carries no wall-clock times, so the same configuration produces a
+    byte-identical JSON summary. *)
+
+type config = {
+  seed : int;
+  count : int;
+  machine : Wsc_wse.Machine.t;
+  crash_dir : string;
+  inject_bug : bool;  (** splice the test-only bug pass into every case *)
+  reduce_budget : int;  (** max oracle re-runs while reducing one crash;
+                            0 disables reduction *)
+}
+
+val default_config : config
+
+type case = {
+  c_index : int;
+  c_descr : string;  (** one-line program description *)
+  c_size : int;  (** {!Fuzz.program_size} *)
+  c_failure : string option;  (** {!Oracle.failure_key}; [None] = agreed *)
+  c_detail : string option;
+  c_reduced_size : int option;  (** after reduction, when it ran *)
+  c_checks : int;  (** oracle re-runs the reducer spent *)
+  c_artifact : string option;  (** crash directory path *)
+}
+
+type report = { cfg : config; cases : case list }
+
+val crashes : report -> int
+
+(** Run the campaign.  [on_case] fires after each case (progress
+    reporting). *)
+val run : ?on_case:(case -> unit) -> config -> report
+
+(** Human-readable summary table. *)
+val to_string : report -> string
+
+(** Shared [--json] envelope ({!Wsc_trace.Json.summary}, tool ["fuzz"]). *)
+val to_json : report -> Wsc_trace.Json.t

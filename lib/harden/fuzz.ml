@@ -1,0 +1,403 @@
+(** Seeded stencil-program fuzzer — see the interface for the envelope.
+
+    Determinism: draws come from {!Wsc_faults.Faults.uniform}, a pure
+    hash of (campaign seed, case index, draw counter).  Draw order
+    inside one case is fixed by explicit sequencing below (no [let ...
+    and], no [List.init] over an effectful function), so the same
+    (seed, index) always yields the same program. *)
+
+module P = Wsc_frontends.Stencil_program
+module Faults = Wsc_faults.Faults
+module Json = Wsc_trace.Json
+
+(* ------------------------------------------------------------------ *)
+(* deterministic draws                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { seed : int; site : int; mutable n : int }
+
+let draw (r : rng) : float =
+  let u = Faults.uniform ~seed:r.seed ~site:r.site ~keys:[ r.n ] in
+  r.n <- r.n + 1;
+  u
+
+(** Uniform integer in [lo, hi] inclusive. *)
+let int_in (r : rng) (lo : int) (hi : int) : int =
+  lo + min (hi - lo) (int_of_float (draw r *. float_of_int (hi - lo + 1)))
+
+let choose (r : rng) (xs : 'a list) : 'a = List.nth xs (int_in r 0 (List.length xs - 1))
+
+(** Nonzero multiple of 1/64 in [-2, 2]: exact in binary, so it prints,
+    parses and serializes without rounding. *)
+let coeff (r : rng) : float =
+  let k = int_in r (-128) 128 in
+  let k = if k = 0 then 7 else k in
+  float_of_int k /. 64.0
+
+(* ------------------------------------------------------------------ *)
+(* expression generation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** One term over [grid]: coefficient x access.  Remote accesses stay on
+    the cross (one nonzero offset component, |offset| <= halo); only
+    local accesses appear non-linearly (squared) or as dividends. *)
+let term (r : rng) ~(halo : int) ~(remote : bool) ~(grid : string) : P.expr =
+  let u = draw r in
+  if (not remote) || u < 0.35 then begin
+    let acc = P.Access (grid, [ 0; 0; 0 ]) in
+    let v = draw r in
+    if v < 0.2 then P.Mul (acc, acc)
+    else if v < 0.35 then P.Div (acc, P.Const (choose r [ 2.0; 4.0; 8.0 ]))
+    else P.Mul (P.Const (coeff r), acc)
+  end
+  else begin
+    let axis = int_in r 0 2 in
+    let mag = int_in r 1 halo in
+    let mag = if draw r < 0.5 then mag else -mag in
+    let off = List.mapi (fun i z -> if i = axis then mag else z) [ 0; 0; 0 ] in
+    P.Mul (P.Const (coeff r), P.Access (grid, off))
+  end
+
+let rec terms_of (r : rng) ~halo ~remote ~grid (k : int) (acc : P.expr list) :
+    P.expr list =
+  if k = 0 then List.rev acc
+  else terms_of r ~halo ~remote ~grid (k - 1) (term r ~halo ~remote ~grid :: acc)
+
+(** Fold terms with Add/Sub (Sub with probability 1/4). *)
+let combine (r : rng) (ts : P.expr list) : P.expr =
+  List.fold_left
+    (fun acc t -> if draw r < 0.25 then P.Sub (acc, t) else P.Add (acc, t))
+    (List.hd ts) (List.tl ts)
+
+(** A star expression over [grid] with one guaranteed remote x-term (so
+    the kernel communicates) plus [n] random terms. *)
+let star (r : rng) ~halo ~grid ~(n : int) : P.expr =
+  let s = if draw r < 0.5 then 1 else -1 in
+  let guaranteed = P.Mul (P.Const (coeff r), P.Access (grid, [ s; 0; 0 ])) in
+  combine r (guaranteed :: terms_of r ~halo ~remote:true ~grid n [])
+
+(* ------------------------------------------------------------------ *)
+(* program generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let generate ~(seed : int) ~(index : int) : P.t =
+  let r = { seed; site = index; n = 0 } in
+  let nx = int_in r 3 5 in
+  let ny = int_in r 3 5 in
+  let nz = int_in r 4 8 in
+  let iterations = int_in r 1 3 in
+  let halo = 2 in
+  let n_terms = int_in r 2 5 in
+  let variant = int_in r 0 3 in
+  let base =
+    {
+      P.pname = Printf.sprintf "fuzz-s%d-c%d" seed index;
+      frontend = "fuzz";
+      extents = (nx, ny, nz);
+      halo;
+      state = [ "u" ];
+      kernels = [];
+      next_state = [];
+      iterations;
+      use_loop = true;
+      dsl_loc = 0;
+    }
+  in
+  match variant with
+  | 0 ->
+      (* plain single-state star stencil *)
+      let expr = star r ~halo ~grid:"u" ~n:n_terms in
+      {
+        base with
+        P.kernels = [ { P.kname = "k"; output = "w"; expr } ];
+        next_state = [ "w" ];
+      }
+  | 1 ->
+      (* masked: gate the whole expression by a locally held field,
+         forcing the backend's pack mode *)
+      let expr = star r ~halo ~grid:"u" ~n:n_terms in
+      let expr = P.Mul (P.Access ("mask", [ 0; 0; 0 ]), expr) in
+      {
+        base with
+        P.state = [ "u"; "mask" ];
+        kernels = [ { P.kname = "k"; output = "w"; expr } ];
+        next_state = [ "w"; "mask" ];
+      }
+  | 2 ->
+      (* two-state rotation (wave-equation shape): w reads u remotely
+         and u_prev point-wise; next state is [u; w] *)
+      let su = star r ~halo ~grid:"u" ~n:n_terms in
+      let prev = P.Mul (P.Const (coeff r), P.Access ("u_prev", [ 0; 0; 0 ])) in
+      let expr = if draw r < 0.5 then P.Sub (su, prev) else P.Add (su, prev) in
+      {
+        base with
+        P.state = [ "u_prev"; "u" ];
+        kernels = [ { P.kname = "k"; output = "w"; expr } ];
+        next_state = [ "u"; "w" ];
+      }
+  | _ ->
+      (* chained kernels: k2 reads the intermediate t point-wise only
+         (the uvkbe pattern) and may still read the state grid remotely *)
+      let e1 = star r ~halo ~grid:"u" ~n:n_terms in
+      let n2 = int_in r 1 3 in
+      let t_term = P.Mul (P.Const (coeff r), P.Access ("t", [ 0; 0; 0 ])) in
+      let e2 = combine r (t_term :: terms_of r ~halo ~remote:true ~grid:"u" n2 []) in
+      {
+        base with
+        P.kernels =
+          [
+            { P.kname = "k1"; output = "t"; expr = e1 };
+            { P.kname = "k2"; output = "w"; expr = e2 };
+          ];
+        next_state = [ "w" ];
+      }
+
+(* ------------------------------------------------------------------ *)
+(* envelope check                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let on_cross (off : int list) : bool =
+  List.length (List.filter (fun d -> d <> 0) off) <= 1
+
+let rec divisors_ok : P.expr -> bool = function
+  | P.Const _ | P.Access _ -> true
+  | P.Add (a, b) | P.Sub (a, b) | P.Mul (a, b) -> divisors_ok a && divisors_ok b
+  | P.Div (a, P.Const c) -> Float.abs c >= 0.5 && divisors_ok a
+  | P.Div _ -> false
+
+let well_formed (p : P.t) : bool =
+  let nx, ny, nz = p.P.extents in
+  let outputs = List.map (fun (k : P.kernel) -> k.P.output) p.P.kernels in
+  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  nx >= 3 && ny >= 3 && nz >= 4 && p.P.halo >= 1 && p.P.iterations >= 1
+  && (p.P.iterations = 1 || p.P.use_loop)
+  && p.P.state <> [] && p.P.kernels <> []
+  && distinct (p.P.state @ outputs)
+  && List.length p.P.next_state = List.length p.P.state
+  && List.for_all
+       (fun n -> List.mem n p.P.state || List.mem n outputs)
+       p.P.next_state
+  && P.program_radius p <= p.P.halo
+  &&
+  let ok = ref true in
+  let seen = ref p.P.state in
+  List.iter
+    (fun (k : P.kernel) ->
+      let accs = P.accesses k.P.expr in
+      if accs = [] then ok := false;
+      List.iter
+        (fun (g, off) ->
+          let local = List.for_all (( = ) 0) off in
+          if List.length off <> 3 then ok := false;
+          if not (List.mem g !seen) then ok := false;
+          if not (on_cross off) then ok := false;
+          (* remote reads need communication, which only state grids
+             (loaded before the step) support *)
+          if (not local) && not (List.mem g p.P.state) then ok := false)
+        accs;
+      if not (divisors_ok k.P.expr) then ok := false;
+      seen := k.P.output :: !seen)
+    p.P.kernels;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* reduction metric                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_nodes : P.expr -> int = function
+  | P.Const _ | P.Access _ -> 1
+  | P.Add (a, b) | P.Sub (a, b) | P.Mul (a, b) | P.Div (a, b) ->
+      1 + expr_nodes a + expr_nodes b
+
+let rec nonzero_consts : P.expr -> int = function
+  | P.Const c -> if c <> 0.0 then 1 else 0
+  | P.Access _ -> 0
+  | P.Add (a, b) | P.Sub (a, b) | P.Mul (a, b) | P.Div (a, b) ->
+      nonzero_consts a + nonzero_consts b
+
+let offset_mass (e : P.expr) : int =
+  List.fold_left
+    (fun acc (_, off) -> acc + List.fold_left (fun a d -> a + abs d) 0 off)
+    0 (P.accesses e)
+
+(** Every shrink the reducer proposes (dropping a kernel or a state
+    grid, halving an extent, trimming the halo or the iteration count,
+    replacing a node by a child, zeroing a constant, stepping an offset
+    toward zero) strictly decreases this. *)
+let program_size (p : P.t) : int =
+  let nx, ny, nz = p.P.extents in
+  nx + ny + nz + p.P.halo + p.P.iterations
+  + (2 * List.length p.P.state)
+  + List.fold_left
+      (fun acc (k : P.kernel) ->
+        acc + 1 + expr_nodes k.P.expr + nonzero_consts k.P.expr
+        + offset_mass k.P.expr)
+      0 p.P.kernels
+
+(* ------------------------------------------------------------------ *)
+(* description                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_to_string : P.expr -> string = function
+  | P.Const c -> Printf.sprintf "%g" c
+  | P.Access (g, off) ->
+      Printf.sprintf "%s[%s]" g (String.concat "," (List.map string_of_int off))
+  | P.Add (a, b) -> Printf.sprintf "(%s + %s)" (expr_to_string a) (expr_to_string b)
+  | P.Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
+  | P.Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr_to_string a) (expr_to_string b)
+  | P.Div (a, b) -> Printf.sprintf "(%s / %s)" (expr_to_string a) (expr_to_string b)
+
+let describe (p : P.t) : string =
+  let nx, ny, nz = p.P.extents in
+  Printf.sprintf "%dx%dx%d h%d x%d [%s]: %s" nx ny nz p.P.halo p.P.iterations
+    (String.concat "," p.P.state)
+    (String.concat "; "
+       (List.map
+          (fun (k : P.kernel) -> k.P.output ^ " = " ^ expr_to_string k.P.expr)
+          p.P.kernels))
+
+(* ------------------------------------------------------------------ *)
+(* serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_to_json : P.expr -> Json.t = function
+  | P.Const c -> Json.Obj [ ("const", Json.Float c) ]
+  | P.Access (g, off) ->
+      Json.Obj
+        [
+          ("access", Json.String g);
+          ("off", Json.List (List.map (fun d -> Json.Int d) off));
+        ]
+  | P.Add (a, b) -> Json.Obj [ ("add", Json.List [ expr_to_json a; expr_to_json b ]) ]
+  | P.Sub (a, b) -> Json.Obj [ ("sub", Json.List [ expr_to_json a; expr_to_json b ]) ]
+  | P.Mul (a, b) -> Json.Obj [ ("mul", Json.List [ expr_to_json a; expr_to_json b ]) ]
+  | P.Div (a, b) -> Json.Obj [ ("div", Json.List [ expr_to_json a; expr_to_json b ]) ]
+
+let program_to_json (p : P.t) : Json.t =
+  let nx, ny, nz = p.P.extents in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    [
+      ("pname", Json.String p.P.pname);
+      ("frontend", Json.String p.P.frontend);
+      ("extents", Json.List [ Json.Int nx; Json.Int ny; Json.Int nz ]);
+      ("halo", Json.Int p.P.halo);
+      ("state", strings p.P.state);
+      ( "kernels",
+        Json.List
+          (List.map
+             (fun (k : P.kernel) ->
+               Json.Obj
+                 [
+                   ("kname", Json.String k.P.kname);
+                   ("output", Json.String k.P.output);
+                   ("expr", expr_to_json k.P.expr);
+                 ])
+             p.P.kernels) );
+      ("next_state", strings p.P.next_state);
+      ("iterations", Json.Int p.P.iterations);
+      ("use_loop", Json.Bool p.P.use_loop);
+      ("dsl_loc", Json.Int p.P.dsl_loc);
+    ]
+
+let ( let* ) = Result.bind
+
+let field (k : string) (v : Json.t) : (Json.t, string) result =
+  match Json.member k v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field '%s'" k)
+
+let as_int = function
+  | Json.Int i -> Ok i
+  | _ -> Error "expected an integer"
+
+let as_float = function
+  | Json.Int i -> Ok (float_of_int i)
+  | Json.Float f -> Ok f
+  | _ -> Error "expected a number"
+
+let as_string = function
+  | Json.String s -> Ok s
+  | _ -> Error "expected a string"
+
+let as_bool = function Json.Bool b -> Ok b | _ -> Error "expected a bool"
+let as_list = function Json.List l -> Ok l | _ -> Error "expected a list"
+
+let map_m (f : 'a -> ('b, string) result) (l : 'a list) : ('b list, string) result =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let rec expr_of_json (v : Json.t) : (P.expr, string) result =
+  let binop k v =
+    let* l = as_list v in
+    match l with
+    | [ a; b ] ->
+        let* a = expr_of_json a in
+        let* b = expr_of_json b in
+        Ok
+          (match k with
+          | "add" -> P.Add (a, b)
+          | "sub" -> P.Sub (a, b)
+          | "mul" -> P.Mul (a, b)
+          | _ -> P.Div (a, b))
+    | _ -> Error (Printf.sprintf "'%s' expects two children" k)
+  in
+  match v with
+  | Json.Obj [ ("const", c) ] ->
+      let* c = as_float c in
+      Ok (P.Const c)
+  | Json.Obj (("access", g) :: _) ->
+      let* g = as_string g in
+      let* off = field "off" v in
+      let* off = as_list off in
+      let* off = map_m as_int off in
+      Ok (P.Access (g, off))
+  | Json.Obj [ ((("add" | "sub" | "mul" | "div") as k), c) ] -> binop k c
+  | _ -> Error "unrecognized expression node"
+
+let program_of_json (v : Json.t) : (P.t, string) result =
+  let* pname = Result.bind (field "pname" v) as_string in
+  let* frontend = Result.bind (field "frontend" v) as_string in
+  let* extents = Result.bind (field "extents" v) as_list in
+  let* extents = map_m as_int extents in
+  let* extents =
+    match extents with
+    | [ nx; ny; nz ] -> Ok (nx, ny, nz)
+    | _ -> Error "extents must have three entries"
+  in
+  let* halo = Result.bind (field "halo" v) as_int in
+  let* state = Result.bind (field "state" v) as_list in
+  let* state = map_m as_string state in
+  let* kernels = Result.bind (field "kernels" v) as_list in
+  let* kernels =
+    map_m
+      (fun k ->
+        let* kname = Result.bind (field "kname" k) as_string in
+        let* output = Result.bind (field "output" k) as_string in
+        let* expr = Result.bind (field "expr" k) expr_of_json in
+        Ok { P.kname; output; expr })
+      kernels
+  in
+  let* next_state = Result.bind (field "next_state" v) as_list in
+  let* next_state = map_m as_string next_state in
+  let* iterations = Result.bind (field "iterations" v) as_int in
+  let* use_loop = Result.bind (field "use_loop" v) as_bool in
+  let* dsl_loc = Result.bind (field "dsl_loc" v) as_int in
+  Ok
+    {
+      P.pname;
+      frontend;
+      extents;
+      halo;
+      state;
+      kernels;
+      next_state;
+      iterations;
+      use_loop;
+      dsl_loc;
+    }

@@ -1,0 +1,38 @@
+(** Seeded stencil-program fuzzer: random-but-well-formed
+    {!Wsc_frontends.Stencil_program.t} values drawn from the pipeline's
+    supported envelope (star stencils on cross offsets, remote reads on
+    state grids only, chained kernels reading intermediates point-wise).
+
+    Determinism follows the {!Wsc_faults.Faults} discipline: every draw
+    is a pure hash of the campaign seed and the case index — there is no
+    mutable PRNG stream — so case [i] of a campaign is the same program
+    no matter how many cases ran before it, and a campaign replays
+    bit-identically from its seed. *)
+
+(** [generate ~seed ~index] — the [index]-th program of campaign
+    [seed].  Always {!well_formed}; coefficients are multiples of 1/64
+    so they print, parse and serialize exactly. *)
+val generate : seed:int -> index:int -> Wsc_frontends.Stencil_program.t
+
+(** Is the program inside the envelope the pipeline (and the
+    differential oracle) supports?  Checked by the generator's output
+    and required of every reducer candidate: extents ≥ 3×3×4, halo ≥
+    every |offset|, cross-shaped offsets, remote accesses on state grids
+    only, intermediates read point-wise, [use_loop] whenever
+    [iterations > 1], constant divisors bounded away from zero. *)
+val well_formed : Wsc_frontends.Stencil_program.t -> bool
+
+(** Reduction metric: strictly decreasing under every shrink step the
+    reducer proposes (node counts, extents, halo, iterations, offset
+    magnitudes, nonzero constants). *)
+val program_size : Wsc_frontends.Stencil_program.t -> int
+
+(** One-line description for reports: extents, iterations and kernels. *)
+val describe : Wsc_frontends.Stencil_program.t -> string
+
+(** {1 Serialization (crash artifacts)} *)
+
+val program_to_json : Wsc_frontends.Stencil_program.t -> Wsc_trace.Json.t
+
+val program_of_json :
+  Wsc_trace.Json.t -> (Wsc_frontends.Stencil_program.t, string) result

@@ -1,0 +1,137 @@
+(** Greedy delta-debugging reducer — see the interface.
+
+    Termination: every candidate is strictly smaller under
+    {!Fuzz.program_size} (the well-formedness filter also rejects
+    anything outside the supported envelope, so the oracle never sees an
+    unsupported reproducer), and the check budget bounds the oracle
+    re-runs. *)
+
+module P = Wsc_frontends.Stencil_program
+
+type result = { reduced : P.t; checks : int; steps : int }
+
+(* ------------------------------------------------------------------ *)
+(* expression shrinks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let step_toward_zero (d : int) : int = if d > 0 then d - 1 else if d < 0 then d + 1 else 0
+
+(** One-step shrinks of an expression: replace a binary node by a child,
+    zero a constant, step an offset toward zero.  Divisors are never
+    shrunk (a zero or vanished divisor would change the failure into a
+    trivial division blow-up). *)
+let rec shrink_expr (e : P.expr) : P.expr list =
+  match e with
+  | P.Const c -> if c <> 0.0 then [ P.Const 0.0 ] else []
+  | P.Access (g, off) ->
+      if List.exists (fun d -> d <> 0) off then
+        [ P.Access (g, List.map step_toward_zero off) ]
+      else []
+  | P.Add (a, b) ->
+      (a :: b :: List.map (fun a' -> P.Add (a', b)) (shrink_expr a))
+      @ List.map (fun b' -> P.Add (a, b')) (shrink_expr b)
+  | P.Sub (a, b) ->
+      (a :: b :: List.map (fun a' -> P.Sub (a', b)) (shrink_expr a))
+      @ List.map (fun b' -> P.Sub (a, b')) (shrink_expr b)
+  | P.Mul (a, b) ->
+      (a :: b :: List.map (fun a' -> P.Mul (a', b)) (shrink_expr a))
+      @ List.map (fun b' -> P.Mul (a, b')) (shrink_expr b)
+  | P.Div (a, b) -> a :: List.map (fun a' -> P.Div (a', b)) (shrink_expr a)
+
+(* ------------------------------------------------------------------ *)
+(* program-level candidates                                            *)
+(* ------------------------------------------------------------------ *)
+
+let remove_nth (i : int) (l : 'a list) : 'a list =
+  List.filteri (fun j _ -> j <> i) l
+
+let candidates (p : P.t) : P.t list =
+  let sz = Fuzz.program_size p in
+  let keep q = Fuzz.well_formed q && Fuzz.program_size q < sz in
+  let half v = max 3 ((v + 1) / 2) in
+  let nx, ny, nz = p.P.extents in
+  let structural =
+    [
+      (* big cuts first: the greedy loop restarts from the first hit *)
+      { p with P.iterations = 1 };
+      { p with P.extents = (half nx, half ny, max 4 ((nz + 1) / 2)) };
+    ]
+    (* drop a kernel; next-state slots that named its output fall back
+       to the first state grid (later kernels that read it are rejected
+       by the well-formedness filter) *)
+    @ List.concat
+        (List.mapi
+           (fun i (k : P.kernel) ->
+             [
+               {
+                 p with
+                 P.kernels = remove_nth i p.P.kernels;
+                 next_state =
+                   List.map
+                     (fun n -> if n = k.P.output then List.hd p.P.state else n)
+                     p.P.next_state;
+               };
+             ])
+           p.P.kernels)
+    (* drop a state grid together with its next-state slot *)
+    @ List.concat
+        (List.mapi
+           (fun j _ ->
+             [
+               {
+                 p with
+                 P.state = remove_nth j p.P.state;
+                 next_state = remove_nth j p.P.next_state;
+               };
+             ])
+           p.P.state)
+    @ [
+        { p with P.extents = (half nx, ny, nz) };
+        { p with P.extents = (nx, half ny, nz) };
+        { p with P.extents = (nx, ny, max 4 ((nz + 1) / 2)) };
+        { p with P.halo = max 1 (P.program_radius p) };
+      ]
+  in
+  let exprs =
+    List.concat
+      (List.mapi
+         (fun i (k : P.kernel) ->
+           List.map
+             (fun e ->
+               {
+                 p with
+                 P.kernels =
+                   List.mapi
+                     (fun j k' -> if j = i then { k with P.expr = e } else k')
+                     p.P.kernels;
+               })
+             (shrink_expr k.P.expr))
+         p.P.kernels)
+  in
+  List.filter keep (structural @ exprs)
+
+(* ------------------------------------------------------------------ *)
+(* greedy loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reduce ?(max_checks = 150) ~still_fails (p0 : P.t) : result =
+  let checks = ref 0 in
+  let steps = ref 0 in
+  let rec go p =
+    let rec try_ = function
+      | [] -> p
+      | q :: rest ->
+          if !checks >= max_checks then p
+          else begin
+            incr checks;
+            if still_fails q then begin
+              incr steps;
+              go q
+            end
+            else try_ rest
+          end
+    in
+    try_ (candidates p)
+  in
+  let reduced = go p0 in
+  { reduced; checks = !checks; steps = !steps }

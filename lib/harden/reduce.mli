@@ -1,0 +1,31 @@
+(** Automatic test-case reducer: greedy delta debugging over
+    {!Wsc_frontends.Stencil_program.t}.
+
+    Given a failing program and a predicate that re-runs the oracle and
+    answers "does this candidate still fail the same way?", repeatedly
+    applies the smallest-first shrink steps (fewer iterations, smaller
+    extents, dropped kernels and state grids, trimmed halo, pruned
+    expression nodes, zeroed constants, shortened offsets).  Every
+    candidate is {!Fuzz.well_formed} and strictly smaller under
+    {!Fuzz.program_size}, so reduction always terminates. *)
+
+type result = {
+  reduced : Wsc_frontends.Stencil_program.t;
+  checks : int;  (** oracle re-runs spent *)
+  steps : int;  (** accepted shrink steps *)
+}
+
+(** Shrink candidates of one program, strictly smaller and well-formed,
+    in the order the reducer tries them; exposed for tests. *)
+val candidates :
+  Wsc_frontends.Stencil_program.t -> Wsc_frontends.Stencil_program.t list
+
+(** [reduce ~max_checks ~still_fails p] — greedy fixpoint: take the
+    first candidate that still fails, restart from it; stop when no
+    candidate reproduces or the budget is spent.  [p] itself is assumed
+    failing. *)
+val reduce :
+  ?max_checks:int ->
+  still_fails:(Wsc_frontends.Stencil_program.t -> bool) ->
+  Wsc_frontends.Stencil_program.t ->
+  result

@@ -6,7 +6,18 @@
 
 open Ir
 
-exception Parse_error of string
+(** 1-based source position of a failure (column 0: position unknown). *)
+type location = { line : int; col : int }
+
+exception Parse_error of location * string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (_, msg) -> Some ("Parse_error: " ^ msg)
+    | _ -> None)
+
+let error loc fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (loc, s))) fmt
 
 type token =
   | Tid of string          (* bare identifier *)
@@ -25,12 +36,13 @@ let is_ident_char c =
 
 let is_digit c = c >= '0' && c <= '9'
 
-(** Tokenize to a list of (token, source line) pairs; multi-line tokens
-    carry their starting line. *)
-let tokenize (s : string) : (token * int) list =
+(** Tokenize to a list of (token, source location) pairs; multi-line
+    tokens carry their starting line and column. *)
+let tokenize (s : string) : (token * location) list =
   let n = String.length s in
   let toks = ref [] in
   let line = ref 1 in
+  let line_start = ref 0 in  (* offset of the first char of [line] *)
   let i = ref 0 in
   let read_ident start =
     let j = ref start in
@@ -41,9 +53,15 @@ let tokenize (s : string) : (token * int) list =
   in
   while !i < n do
     let c = s.[!i] in
-    let emit t = toks := (t, !line) :: !toks in
+    (* location of the token that starts here; captured before any
+       consumption so multi-line tokens report where they began *)
+    let loc = { line = !line; col = !i - !line_start + 1 } in
+    let emit t = toks := (t, loc) :: !toks in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
-      if c = '\n' then incr line;
+      if c = '\n' then begin
+        incr line;
+        line_start := !i + 1
+      end;
       incr i
     end
     else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
@@ -55,7 +73,6 @@ let tokenize (s : string) : (token * int) list =
     else if c = '"' then begin
       incr i;
       let buf = Buffer.create 16 in
-      let start_line = !line in
       while !i < n && s.[!i] <> '"' do
         if s.[!i] = '\\' && !i + 1 < n then begin
           (match s.[!i + 1] with
@@ -66,15 +83,18 @@ let tokenize (s : string) : (token * int) list =
           i := !i + 2
         end
         else begin
-          if s.[!i] = '\n' then incr line;
+          if s.[!i] = '\n' then begin
+            incr line;
+            line_start := !i + 1
+          end;
           Buffer.add_char buf s.[!i];
           incr i
         end
       done;
       if !i >= n then
-        raise (Parse_error (Printf.sprintf "unterminated string (line %d)" start_line));
+        error loc "unterminated string (line %d, column %d)" loc.line loc.col;
       incr i;
-      toks := (Tstring (Buffer.contents buf), start_line) :: !toks
+      emit (Tstring (Buffer.contents buf))
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
       let start = !i in
@@ -84,6 +104,15 @@ let tokenize (s : string) : (token * int) list =
         !i < n && (s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E')
         (* avoid consuming the 'x' of shapes like 4x8xf32 *)
       in
+      let literal () = String.sub s start (!i - start) in
+      let float_tok () =
+        let l = literal () in
+        match float_of_string_opt l with
+        | Some f -> emit (Tfloat f)
+        | None ->
+            error loc "bad float literal '%s' (line %d, column %d)" l loc.line
+              loc.col
+      in
       if is_float && s.[!i] = '.' then begin
         incr i;
         while !i < n && is_digit s.[!i] do incr i done;
@@ -92,16 +121,23 @@ let tokenize (s : string) : (token * int) list =
           if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
           while !i < n && is_digit s.[!i] do incr i done
         end;
-        emit (Tfloat (float_of_string (String.sub s start (!i - start))))
+        float_tok ()
       end
       else if is_float then begin
         (* exponent without dot *)
         incr i;
         if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
         while !i < n && is_digit s.[!i] do incr i done;
-        emit (Tfloat (float_of_string (String.sub s start (!i - start))))
+        float_tok ()
       end
-      else emit (Tint (int_of_string (String.sub s start (!i - start))))
+      else
+        match int_of_string_opt (literal ()) with
+        | Some v -> emit (Tint v)
+        | None ->
+            (* out-of-range literals must surface as located parse
+               errors, not the bare [Failure] of [int_of_string] *)
+            error loc "integer literal '%s' out of range (line %d, column %d)"
+              (literal ()) loc.line loc.col
     end
     else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then begin
       i := !i + 2;
@@ -113,18 +149,19 @@ let tokenize (s : string) : (token * int) list =
       emit (Tpunct (String.make 1 c))
     end
   done;
-  List.rev ((Teof, !line) :: !toks)
+  List.rev ((Teof, { line = !line; col = n - !line_start + 1 }) :: !toks)
 
 (** Parser state. *)
 type state = {
-  mutable toks : (token * int) list;
+  mutable toks : (token * location) list;
   values : (string, value) Hashtbl.t;  (* %name -> value *)
 }
 
 let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
 
-(** Source line of the next token (for error reports). *)
-let peek_line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+(** Source location of the next token (for error reports). *)
+let peek_loc st =
+  match st.toks with (_, l) :: _ -> l | [] -> { line = 0; col = 0 }
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
@@ -141,10 +178,9 @@ let token_str = function
   | Teof -> "<eof>"
 
 let fail st msg =
-  raise
-    (Parse_error
-       (Printf.sprintf "%s (at %s, line %d)" msg (token_str (peek st))
-          (peek_line st)))
+  let loc = peek_loc st in
+  error loc "%s (at %s, line %d, column %d)" msg (token_str (peek st)) loc.line
+    loc.col
 
 let expect st p =
   match peek st with
@@ -325,6 +361,11 @@ and parse_bang_typ st : typ =
           advance st;
           expect st ">";
           Struct s
+      | Tstring s ->
+          (* quoted form for names that are not identifier tokens *)
+          advance st;
+          expect st ">";
+          Struct s
       | _ -> fail st "expected struct name")
   | _ -> fail st "unknown ! type"
 
@@ -340,7 +381,7 @@ and parse_bounds st : (int * int) list =
          'x' merged with following type name like "xf32" *)
       match peek st with
       | Tid s when String.length s >= 1 && s.[0] = 'x' ->
-          let l = peek_line st in
+          let l = peek_loc st in
           advance st;
           let rest = String.sub s 1 (String.length s - 1) in
           if rest = "" then go (acc @ [ (lb, ub) ])
@@ -464,6 +505,25 @@ let lookup_value st name typ =
       Hashtbl.replace st.values name v;
       v
 
+(** Invert the printer's value naming so name hints survive a parse and
+    printed IR is a print→parse→print fixpoint: ["out_12"] carries hint
+    ["out"] (the printer appends its own counter), plain ["12"] carries
+    none, and any other name is kept whole as the hint. *)
+let hint_of_name (name : string) : string option =
+  let all_digits s =
+    s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+  in
+  if all_digits name then None
+  else
+    match String.rindex_opt name '_' with
+    | Some i
+      when i > 0
+           && i < String.length name - 1
+           && all_digits (String.sub name (i + 1) (String.length name - i - 1))
+      ->
+        Some (String.sub name 0 i)
+    | _ -> Some name
+
 let rec parse_op st : op =
   (* results *)
   let result_names =
@@ -482,7 +542,7 @@ let rec parse_op st : op =
         ns
     | _ -> []
   in
-  let op_line = peek_line st in
+  let op_loc = peek_loc st in
   let opname =
     match peek st with
     | Tstring s ->
@@ -542,20 +602,22 @@ let rec parse_op st : op =
      [Invalid_argument "List.map2"] *)
   if List.length in_types <> List.length operand_names then
     fail st
-      (Printf.sprintf "op %s (line %d): %d operands but %d operand types" opname
-         op_line
+      (Printf.sprintf "op %s (line %d, column %d): %d operands but %d operand types"
+         opname op_loc.line op_loc.col
          (List.length operand_names)
          (List.length in_types));
   if List.length out_types <> List.length result_names then
     fail st
-      (Printf.sprintf "op %s (line %d): %d results but %d result types" opname
-         op_line
+      (Printf.sprintf "op %s (line %d, column %d): %d results but %d result types"
+         opname op_loc.line op_loc.col
          (List.length result_names)
          (List.length out_types));
   let operands = List.map2 (lookup_value st) operand_names in_types in
   let op = create_op opname ~operands ~attrs ~regions ~results:out_types in
   List.iter2
-    (fun name v -> Hashtbl.replace st.values name v)
+    (fun name v ->
+      v.vhint <- hint_of_name name;
+      Hashtbl.replace st.values name v)
     result_names op.results;
   op
 
@@ -585,7 +647,7 @@ and parse_block st : block =
               advance st;
               expect st ":";
               let t = parse_typ st in
-              let v = new_value t in
+              let v = new_value ?hint:(hint_of_name n) t in
               Hashtbl.replace st.values n v;
               let acc = acc @ [ v ] in
               if accept st "," then go acc else acc
@@ -613,10 +675,9 @@ let parse_string (s : string) : op =
   (match peek st with
   | Teof -> ()
   | t ->
-      raise
-        (Parse_error
-           (Printf.sprintf "trailing input: %s (line %d)" (token_str t)
-              (peek_line st))));
+      let loc = peek_loc st in
+      error loc "trailing input: %s (line %d, column %d)" (token_str t) loc.line
+        loc.col);
   op
 
 let parse_file path =
@@ -624,4 +685,5 @@ let parse_file path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  parse_string s
+  try parse_string s
+  with Parse_error (loc, msg) -> raise (Parse_error (loc, path ^ ": " ^ msg))

@@ -2,12 +2,21 @@
     Accepts exactly the constructs the printer emits (plus [//] line
     comments), so print/parse is a fixpoint after one round trip. *)
 
-exception Parse_error of string
+(** Source position of a parse failure: 1-based line and column of the
+    offending token (column 0 when the position is unknown, e.g. at end
+    of input). *)
+type location = { line : int; col : int }
+
+(** Every failure of this parser — malformed syntax, unknown types,
+    numeric literals out of range, trailing tokens — raises this, never
+    a bare [Failure] or [Invalid_argument].  [msg] is the full
+    human-readable message and already names the location. *)
+exception Parse_error of location * string
 
 (** Parse a single top-level operation (usually a [builtin.module]).
     @raise Parse_error on malformed input or trailing tokens; messages
-    name the offending op and its source line (e.g. an operand count
-    that disagrees with the op's type list). *)
+    name the offending op and its source line/column (e.g. an operand
+    count that disagrees with the op's type list). *)
 val parse_string : string -> Ir.op
 
 val parse_file : string -> Ir.op

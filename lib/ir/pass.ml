@@ -36,6 +36,12 @@ type options = {
   on_remark : (remark -> unit) option;
       (** called after each pass (and its verification) completes; op
           counting only happens when this is set *)
+  on_ir : (string -> Ir.op -> unit) option;
+      (** per-pass IR snapshot hook: called with the pass name and the
+          module after each pass (and, when [verify_each], after it
+          verified).  The hardening oracle hangs print→parse→print
+          fixpoint checks off this; exceptions the hook raises propagate
+          unwrapped, so the caller keeps its own attribution. *)
 }
 
 let default_options =
@@ -44,9 +50,16 @@ let default_options =
     dump_each = false;
     dump_channel = Format.err_formatter;
     on_remark = None;
+    on_ir = None;
   }
 
 exception Pass_failed of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Pass_failed (pass, exn) ->
+        Some (Printf.sprintf "pass %s failed: %s" pass (Printexc.to_string exn))
+    | _ -> None)
 
 (** Run [passes] over [m] in order.  Any exception escaping a pass —
     verifier errors, [Invalid_argument], [Failure], [Not_found], … — is
@@ -76,6 +89,9 @@ let run_pipeline ?(options = default_options) (passes : t list) (m : op) : op =
         try Verifier.verify m'
         with e -> raise (Pass_failed (pass.pass_name, e))
       end;
+      (match options.on_ir with
+      | None -> ()
+      | Some hook -> hook pass.pass_name m');
       (match options.on_remark with
       | None -> ()
       | Some f ->

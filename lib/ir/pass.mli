@@ -20,12 +20,19 @@ type remark = {
 }
 
 type options = {
-  verify_each : bool;  (** run the verifier after every pass *)
+  verify_each : bool;
+      (** run the verifier after every pass; a failure is wrapped in
+          {!Pass_failed} and its message includes the offending op's
+          textual form (truncated) *)
   dump_each : bool;  (** print the IR after every pass *)
   dump_channel : Format.formatter;
   on_remark : (remark -> unit) option;
       (** called after each pass (and its verification) completes; op
           counting only happens when this is set *)
+  on_ir : (string -> Ir.op -> unit) option;
+      (** per-pass IR snapshot hook: called with the pass name and the
+          module after each pass completes (and verified, when
+          [verify_each]); exceptions it raises propagate unwrapped *)
 }
 
 val default_options : options

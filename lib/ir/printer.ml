@@ -6,6 +6,29 @@
 
 open Ir
 
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Can [s] print unquoted as a single parser identifier token? *)
+let bare_name (s : string) : bool =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '$' | '-' -> true
+         | _ -> false)
+       s
+
 let rec pp_typ fmt = function
   | F16 -> Format.pp_print_string fmt "f16"
   | F32 -> Format.pp_print_string fmt "f32"
@@ -32,7 +55,11 @@ let rec pp_typ fmt = function
   | Dsd Fabin -> Format.pp_print_string fmt "!csl.dsd<fabin>"
   | Dsd Fabout -> Format.pp_print_string fmt "!csl.dsd<fabout>"
   | Color -> Format.pp_print_string fmt "!csl.color"
-  | Struct s -> Format.fprintf fmt "!csl.struct<%s>" s
+  | Struct s ->
+      (* import-module structs carry names like "<memcpy/memcpy>" that
+         are not identifier tokens; quote those so the type re-parses *)
+      if bare_name s then Format.fprintf fmt "!csl.struct<%s>" s
+      else Format.fprintf fmt "!csl.struct<\"%s\">" (escape_string s)
 
 and pp_shape fmt shape =
   List.iter (fun d -> Format.fprintf fmt "%dx" d) shape
@@ -46,18 +73,6 @@ and pp_typ_list fmt ts =
     pp_typ fmt ts
 
 let typ_to_string t = Format.asprintf "%a" pp_typ t
-
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 let pp_float fmt f =
   if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf fmt "%.6f" f
@@ -114,13 +129,27 @@ let block_label env (b : Ir.block) =
       Hashtbl.replace env.block_names b.Ir.bid n;
       n
 
+(** Hints come from arbitrary pass-internal strings; printed value names
+    must stay single parser tokens, so anything outside [A-Za-z0-9_] is
+    mapped to '_' (and a leading digit is prefixed) — keeping printed IR
+    a print→parse→print fixpoint. *)
+let sanitize_hint (h : string) : string =
+  let h =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      h
+  in
+  if h <> "" && h.[0] >= '0' && h.[0] <= '9' then "_" ^ h else h
+
 let value_name env v =
   match Hashtbl.find_opt env.names v.vid with
   | Some n -> n
   | None ->
       let base =
         match v.vhint with
-        | Some h when h <> "" -> Printf.sprintf "%%%s_%d" h env.next
+        | Some h when h <> "" ->
+            Printf.sprintf "%%%s_%d" (sanitize_hint h) env.next
         | _ -> Printf.sprintf "%%%d" env.next
       in
       env.next <- env.next + 1;

@@ -8,7 +8,26 @@ open Ir
 
 exception Verification_error of string
 
+let () =
+  Printexc.register_printer (function
+    | Verification_error msg -> Some ("Verification_error: " ^ msg)
+    | _ -> None)
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Verification_error s)) fmt
+
+(** Textual form of the offending op for error messages, truncated so a
+    module-sized op cannot flood the report. *)
+let op_snippet (op : op) : string =
+  let s = Printer.op_to_string op in
+  let limit = 200 in
+  if String.length s <= limit then s
+  else String.sub s 0 limit ^ " ... (truncated)"
+
+(** Re-attribute a per-op check failure to the op's textual form. *)
+let with_culprit (op : op) (f : unit -> unit) : unit =
+  try f ()
+  with Verification_error msg ->
+    raise (Verification_error (msg ^ "\n  offending op: " ^ op_snippet op))
 
 (** Per-op verifiers, keyed by op name.  A dialect registers invariants for
     its ops; unknown ops only get the structural checks. *)
@@ -29,11 +48,12 @@ let verify_ssa (root : op) : unit =
   let defined : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let define v = Hashtbl.replace defined v.vid () in
   let rec go_op op =
-    List.iter
-      (fun v ->
-        if not (Hashtbl.mem defined v.vid) then
-          fail "op %s: operand %%%d used before definition" op.opname v.vid)
-      op.operands;
+    with_culprit op (fun () ->
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem defined v.vid) then
+              fail "op %s: operand %%%d used before definition" op.opname v.vid)
+          op.operands);
     (* results defined after operand check *)
     List.iter define op.results;
     List.iter
@@ -63,27 +83,30 @@ let verify_terminators (root : op) : unit =
       match Hashtbl.find_opt terminator_registry op.opname with
       | None -> ()
       | Some terms ->
-          List.iter
-            (fun r ->
+          with_culprit op (fun () ->
               List.iter
-                (fun b ->
-                  match Ir.terminator b with
-                  | Some t when List.mem t.opname terms -> ()
-                  | Some t ->
-                      fail "op %s: region block ends in %s, expected one of [%s]"
-                        op.opname t.opname (String.concat "; " terms)
-                  | None ->
-                      fail "op %s: region block has no terminator (expected one of [%s])"
-                        op.opname (String.concat "; " terms))
-                r.blocks)
-            op.regions)
+                (fun r ->
+                  List.iter
+                    (fun b ->
+                      match Ir.terminator b with
+                      | Some t when List.mem t.opname terms -> ()
+                      | Some t ->
+                          fail
+                            "op %s: region block ends in %s, expected one of [%s]"
+                            op.opname t.opname (String.concat "; " terms)
+                      | None ->
+                          fail
+                            "op %s: region block has no terminator (expected one of [%s])"
+                            op.opname (String.concat "; " terms))
+                    r.blocks)
+                op.regions))
     root
 
 let verify_registered (root : op) : unit =
   walk_op
     (fun op ->
       match Hashtbl.find_opt registry op.opname with
-      | Some f -> f op
+      | Some f -> with_culprit op (fun () -> f op)
       | None -> ())
     root
 

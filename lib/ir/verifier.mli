@@ -22,7 +22,9 @@ val verify_terminators : Ir.op -> unit
 (** Run only the registered per-op invariants. *)
 val verify_registered : Ir.op -> unit
 
-(** All checks; raises {!Verification_error} on the first failure. *)
+(** All checks; raises {!Verification_error} on the first failure.  The
+    message of every per-op failure ends with the offending op's textual
+    form, truncated to ~200 characters. *)
 val verify : Ir.op -> unit
 
 val verify_result : Ir.op -> (unit, string) result

@@ -256,6 +256,21 @@ let of_string (s : string) : (t, string) result =
   | v -> Ok v
   | exception Parse_error msg -> Error msg
 
+(** {1 Shared CLI summary envelope} *)
+
+let float_or_null (f : float) : t =
+  match Float.classify_float f with FP_nan | FP_infinite -> Null | _ -> Float f
+
+let summary ~(tool : string) ~(config : (string * t) list) ~(results : t list) :
+    t =
+  Obj
+    [
+      ("tool", String tool);
+      ("schema_version", Int 1);
+      ("config", Obj config);
+      ("results", List results);
+    ]
+
 (** {1 Accessors} *)
 
 let member (k : string) (v : t) : t option =

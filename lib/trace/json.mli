@@ -20,6 +20,19 @@ val to_channel : out_channel -> t -> unit
 (** Parse a complete JSON document. *)
 val of_string : string -> (t, string) result
 
+(** {1 Shared CLI summary envelope}
+
+    Every [--json] emitting tool in the repo ([wsc faults], [wsc fuzz],
+    [bench]) wraps its output in the same envelope so downstream scripts
+    can dispatch on [tool] and rely on one shape:
+    [{"tool": ..., "schema_version": 1, "config": {...}, "results": [...]}]. *)
+
+(** [Float f], or [Null] when [f] is nan/infinite — for summary fields
+    where "no measurement" must stay distinguishable from a number. *)
+val float_or_null : float -> t
+
+val summary : tool:string -> config:(string * t) list -> results:t list -> t
+
 (** Object member lookup ([None] on non-objects and missing keys). *)
 val member : string -> t -> t option
 

@@ -213,7 +213,7 @@ let test_parse_count_mismatch_named () =
   List.iter
     (fun (s, needles) ->
       match Parser.parse_string s with
-      | exception Parser.Parse_error msg ->
+      | exception Parser.Parse_error (_, msg) ->
           List.iter
             (fun needle ->
               if not (contains msg needle) then
@@ -223,6 +223,28 @@ let test_parse_count_mismatch_named () =
           Alcotest.failf "expected Parse_error, got %s" (Printexc.to_string e)
       | _ -> Alcotest.failf "expected parse error for %S" s)
     cases
+
+let test_parse_error_locations () =
+  (* every failure carries a structured line/column location and the
+     rendered message names both; out-of-range numeric literals must be
+     located parse errors, not the bare Failure of int_of_string *)
+  let check_loc s ~line =
+    match Parser.parse_string s with
+    | exception Parser.Parse_error (loc, msg) ->
+        Alcotest.(check int) ("line of " ^ s) line loc.Parser.line;
+        if loc.Parser.col <= 0 then
+          Alcotest.failf "no column for %S: %S" s msg;
+        if not (contains msg "column") then
+          Alcotest.failf "message %S does not name the column" msg
+    | exception e ->
+        Alcotest.failf "expected Parse_error for %S, got %s" s
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  check_loc "\"op\"() : () -> (badtype)" ~line:1;
+  check_loc "// comment\n\"op\"() : () -> (f32) extra" ~line:2;
+  check_loc "\"t.op\"() { a = 99999999999999999999999 } : () -> ()" ~line:1;
+  check_loc "%x = \"op\"() : () -> (f32)\n\"t\"(%x, %x) : (f32) -> ()" ~line:2
 
 let test_parse_attrs_roundtrip () =
   let attrs =
@@ -292,9 +314,36 @@ let test_verify_result () =
   check "error is Error" true
     (match Verifier.verify_result m with Error _ -> true | Ok () -> false)
 
+let test_verifier_names_offending_op () =
+  (* a verification failure must carry the offending op's textual form,
+     so a failing verify_each run is diagnosable without a dump *)
+  let ghost = new_value F32 in
+  let m = Builtin.module_op [ create_op "t.bad" ~operands:[ ghost ] ~results:[] ] in
+  match Verifier.verify m with
+  | exception Verifier.Verification_error msg ->
+      if not (contains msg "offending op") then
+        Alcotest.failf "message %S lacks the offending-op snippet" msg;
+      if not (contains msg "t.bad") then
+        Alcotest.failf "message %S does not show the op" msg
+  | () -> Alcotest.fail "expected verification error"
+
 (* ------------------------------------------------------------------ *)
 (* pass manager                                                        *)
 (* ------------------------------------------------------------------ *)
+
+let test_pipeline_on_ir_hook () =
+  (* the snapshot hook sees the module after every pass, in order *)
+  let seen = ref [] in
+  let opts =
+    {
+      Wsc_ir.Pass.default_options with
+      on_ir = Some (fun name _ -> seen := name :: !seen);
+    }
+  in
+  let mk name = Wsc_ir.Pass.make_inplace name (fun _ -> ()) in
+  ignore
+    (Wsc_ir.Pass.run_pipeline ~options:opts [ mk "a"; mk "b" ] (simple_module ()));
+  check "hook call order" true (List.rev !seen = [ "a"; "b" ])
 
 let test_pipeline_runs_in_order () =
   let log = ref [] in
@@ -381,6 +430,7 @@ let () =
           Alcotest.test_case "types" `Quick test_parse_types;
           Alcotest.test_case "attrs" `Quick test_parse_attrs_roundtrip;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error locations" `Quick test_parse_error_locations;
           Alcotest.test_case "count mismatch named" `Quick
             test_parse_count_mismatch_named;
         ] );
@@ -391,10 +441,13 @@ let () =
           Alcotest.test_case "use before def" `Quick test_verifier_use_before_def;
           Alcotest.test_case "terminator" `Quick test_verifier_terminator;
           Alcotest.test_case "verify_result" `Quick test_verify_result;
+          Alcotest.test_case "names offending op" `Quick
+            test_verifier_names_offending_op;
         ] );
       ( "passes",
         [
           Alcotest.test_case "pipeline order" `Quick test_pipeline_runs_in_order;
+          Alcotest.test_case "on_ir hook" `Quick test_pipeline_on_ir_hook;
           Alcotest.test_case "pipeline verifies" `Quick test_pipeline_verifies;
           Alcotest.test_case "pipeline wraps exceptions" `Quick
             test_pipeline_wraps_any_exception;

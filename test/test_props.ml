@@ -213,6 +213,41 @@ let attr_gen : attr QCheck.Gen.t =
                  (list_size (int_range 0 3) (self (n / 2)));
              ]))
 
+let fuzz_program_gen : P.t QCheck.Gen.t =
+  (* qcheck only picks the (seed, index) pair; the program itself comes
+     from the deterministic hardening fuzzer, so shrinking stays cheap
+     and failures replay exactly *)
+  QCheck.Gen.(
+    map2
+      (fun seed index -> Wsc_harden.Fuzz.generate ~seed ~index)
+      (int_range 1 1000) (int_range 0 1000))
+
+let prop_fuzz_module_roundtrip =
+  QCheck.Test.make
+    ~name:"fuzzer-generated modules: print->parse->print is a fixpoint"
+    ~count:60
+    (QCheck.make ~print:Wsc_harden.Fuzz.describe fuzz_program_gen)
+    (fun p ->
+      let s1 = Wsc_ir.Printer.op_to_string (P.compile p) in
+      let s2 = Wsc_ir.Printer.op_to_string (Wsc_ir.Parser.parse_string s1) in
+      s1 = s2)
+
+let prop_fuzz_module_roundtrip_lowered =
+  (* the same fixpoint must hold for the name-hint-heavy IR the lowering
+     produces (groups 1-3) *)
+  QCheck.Test.make
+    ~name:"lowered fuzzer modules: print->parse->print is a fixpoint" ~count:15
+    (QCheck.make ~print:Wsc_harden.Fuzz.describe fuzz_program_gen)
+    (fun p ->
+      let o = Core.Pipeline.default_options in
+      let passes =
+        Core.Pipeline.frontend_passes o @ Core.Pipeline.middle_passes o
+      in
+      let m = Wsc_ir.Pass.run_pipeline passes (P.compile p) in
+      let s1 = Wsc_ir.Printer.op_to_string m in
+      let s2 = Wsc_ir.Printer.op_to_string (Wsc_ir.Parser.parse_string s1) in
+      s1 = s2)
+
 let prop_attr_roundtrip =
   QCheck.Test.make ~name:"random attributes round-trip" ~count:300
     (QCheck.make attr_gen)
@@ -318,7 +353,12 @@ let () =
           ] );
       ( "printer-parser",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_typ_roundtrip; prop_attr_roundtrip ] );
+          [
+            prop_typ_roundtrip;
+            prop_attr_roundtrip;
+            prop_fuzz_module_roundtrip;
+            prop_fuzz_module_roundtrip_lowered;
+          ] );
       ( "bufview",
         List.map QCheck_alcotest.to_alcotest
           [
