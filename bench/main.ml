@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- one experiment
      experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations weak sched
-                  trace micro
+                  par trace micro
 
    Absolute numbers come from the fabric simulator and the calibrated
    machine models (see DESIGN.md); the claims under reproduction are the
@@ -16,19 +16,6 @@ module P = Wsc_frontends.Stencil_program
 module WP = Wsc_perf.Wse_perf
 module Machine = Wsc_wse.Machine
 module F = Wsc_wse.Fabric
-
-(** Bit-level equality of aggregate PE stats: used by both the scheduler
-    and the tracing experiments to assert driver/instrumentation choices
-    never change simulation results. *)
-let stats_equal (a : F.pe_stats) (b : F.pe_stats) =
-  a.compute_cycles = b.compute_cycles
-  && a.send_cycles = b.send_cycles
-  && a.wait_cycles = b.wait_cycles
-  && a.task_activations = b.task_activations
-  && a.flops = b.flops
-  && a.elems_sent = b.elems_sent
-  && a.elems_drained = b.elems_drained
-  && a.mem_bytes = b.mem_bytes
 
 let header title =
   Printf.printf "\n==============================================================\n";
@@ -279,7 +266,7 @@ let sched () =
       in
       let cp, sp, kp, wp_ms = run F.Polling in
       let ce, se, ke, we_ms = run F.Event_driven in
-      let identical = cp = ce && stats_equal sp se in
+      let identical = cp = ce && F.stats_equal sp se in
       if not identical then incr mismatches;
       let totp = kp.F.Sched.scans + kp.F.Sched.probes in
       let tote = ke.F.Sched.scans + ke.F.Sched.probes in
@@ -297,6 +284,129 @@ let sched () =
     Printf.printf "all benchmarks: elapsed cycles and total stats bit-identical\n"
   else begin
     Printf.printf "MISMATCH on %d benchmark(s)\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver: domain-decomposed event-driven simulation          *)
+(* ------------------------------------------------------------------ *)
+
+(** Elapsed wall-clock of [f], via [Unix.gettimeofday] — [Sys.time] is
+    CPU time summed over domains, which would hide any speedup. *)
+let wall (f : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(** Exact equality of the drained state grids of two finished runs. *)
+let grids_equal (a : Wsc_dialects.Interp.grid list)
+    (b : Wsc_dialects.Interp.grid list) : bool =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ga : Wsc_dialects.Interp.grid) (gb : Wsc_dialects.Interp.grid) ->
+         Array.length ga.gdata = Array.length gb.gdata
+         && (let ok = ref true in
+             Array.iteri
+               (fun i v ->
+                 if not (Int64.equal (Int64.bits_of_float v)
+                           (Int64.bits_of_float gb.gdata.(i)))
+                 then ok := false)
+               ga.gdata;
+             !ok))
+       a b
+
+let par () =
+  header
+    "Parallel driver: domain-decomposed discrete-event simulation\n\
+     bit-identity of elapsed cycles, aggregate stats and drained fields\n\
+     is asserted against the event driver on every run; speedup is wall\n\
+     clock (meaningful only on a multi-core host)";
+  let module J = Wsc_trace.Json in
+  let machine = Machine.wse3 in
+  let iters = 8 in
+  let mismatches = ref 0 in
+  let rows = ref [] in
+  Printf.printf "%d cores available (Domain.recommended_domain_count)\n\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-10s %6s %-9s %7s %9s %12s %8s %9s\n" "benchmark" "extent"
+    "driver" "domains" "wall s" "cycles" "speedup" "identical";
+  List.iter
+    (fun id ->
+      let d = B.find id in
+      List.iter
+        (fun extent ->
+          let (h0, _), w0 =
+            wall (fun () ->
+                WP.simulate_proxy ~driver:F.Event_driven ~extent d ~machine
+                  ~iters)
+          in
+          let c0 = F.elapsed_cycles h0.sim in
+          let s0 = F.total_stats h0.sim in
+          let g0 = Wsc_wse.Host.read_all h0 in
+          let row driver domains wall_s cycles identical =
+            Printf.printf "%-10s %6d %-9s %7d %9.3f %12.0f %7.2fx %9s\n"
+              id extent driver domains wall_s cycles (w0 /. wall_s)
+              (if identical then "yes" else "NO");
+            rows :=
+              J.Obj
+                [
+                  ("benchmark", J.String id);
+                  ("extent", J.Int extent);
+                  ("driver", J.String driver);
+                  ("domains", J.Int domains);
+                  ("wall_s", J.Float wall_s);
+                  ("cycles", J.Float cycles);
+                  ("speedup", J.Float (w0 /. wall_s));
+                  ("identical", J.Bool identical);
+                ]
+              :: !rows
+          in
+          row "event" 0 w0 c0 true;
+          List.iter
+            (fun n ->
+              let (h, _), w =
+                wall (fun () ->
+                    WP.simulate_proxy ~driver:(F.Parallel n) ~extent d ~machine
+                      ~iters)
+              in
+              let c = F.elapsed_cycles h.sim in
+              let sdiff = F.stats_diff s0 (F.total_stats h.sim) in
+              let fields_ok = grids_equal g0 (Wsc_wse.Host.read_all h) in
+              let identical = c = c0 && sdiff = None && fields_ok in
+              if not identical then begin
+                incr mismatches;
+                if c <> c0 then
+                  Printf.printf "    cycles: %.17g <> %.17g\n" c0 c;
+                (match sdiff with
+                | Some m -> Printf.printf "    stats: %s\n" m
+                | None -> ());
+                if not fields_ok then
+                  Printf.printf "    drained fields differ\n"
+              end;
+              row "parallel" n w c identical)
+            [ 1; 2; 4 ])
+        [ 8; 16; 32 ])
+    [ "jacobian"; "seismic" ];
+  let doc =
+    J.summary ~tool:"bench-par"
+      ~config:
+        [
+          ("machine", J.String machine.Machine.name);
+          ("iterations", J.Int iters);
+          ("cores", J.Int (Domain.recommended_domain_count ()));
+        ]
+      ~results:(List.rev !rows)
+  in
+  let oc = open_out "BENCH_PR5.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_PR5.json\n";
+  if !mismatches = 0 then
+    Printf.printf
+      "all runs: cycles, aggregate stats and drained fields bit-identical\n"
+  else begin
+    Printf.printf "MISMATCH on %d run(s)\n" !mismatches;
     exit 1
   end
 
@@ -354,7 +464,7 @@ let trace_exp () =
           and ct = F.elapsed_cycles h_traced.sim in
           let identical =
             cp = ct
-            && stats_equal (F.total_stats h_plain.sim) (F.total_stats h_traced.sim)
+            && F.stats_equal (F.total_stats h_plain.sim) (F.total_stats h_traced.sim)
           in
           if not identical then incr mismatches;
           let predicted =
@@ -419,18 +529,18 @@ let json_summary (path : string) : unit =
   let extent = 16 and iters = 8 in
   let machine = Machine.wse3 in
   let entry (d : B.descr) driver : J.t =
-    let t0 = Sys.time () in
-    let h, chunks = WP.simulate_proxy ~driver ~extent d ~machine ~iters in
-    let wall_ms = (Sys.time () -. t0) *. 1e3 in
+    let (h, chunks), wall_s =
+      wall (fun () -> WP.simulate_proxy ~driver ~extent d ~machine ~iters)
+    in
     let k = F.sched_stats h.sim in
     let st = F.total_stats h.sim in
     J.Obj
       [
         ("benchmark", J.String d.id);
-        ( "driver",
-          J.String (match driver with F.Polling -> "polling" | _ -> "event") );
+        ("driver", J.String (F.driver_name driver));
+        ("domains", J.Int (F.driver_domains driver));
         ("cycles", J.Float (F.elapsed_cycles h.sim));
-        ("wall_ms", J.Float wall_ms);
+        ("wall_s", J.Float wall_s);
         ("chunks", J.Int chunks);
         ("flops", J.Float st.flops);
         ("elems_sent", J.Int st.elems_sent);
@@ -457,7 +567,8 @@ let json_summary (path : string) : unit =
         ]
       ~results:
         (List.concat_map
-           (fun d -> [ entry d F.Polling; entry d F.Event_driven ])
+           (fun d ->
+             [ entry d F.Polling; entry d F.Event_driven; entry d (F.Parallel 2) ])
            B.all)
   in
   let oc = open_out path in
@@ -479,6 +590,7 @@ let experiments =
     ("ablations", ablations);
     ("weak", weak);
     ("sched", sched);
+    ("par", par);
     ("trace", trace_exp);
     ("micro", micro);
   ]

@@ -108,6 +108,61 @@ let outdir_arg =
 
 let pipeline_options = Wsc_core.Pipeline.default_options
 
+let write_json (path : string) (doc : Wsc_trace.Json.t) : unit =
+  let oc = open_out path in
+  Wsc_trace.Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ---------------- fabric driver selection ---------------- *)
+
+let driver_kind_conv =
+  let parse = function
+    | "polling" -> Ok `Polling
+    | "sched" | "event" -> Ok `Event
+    | "parallel" -> Ok `Parallel
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown driver '%s': accepted drivers are polling, sched, parallel"
+               s))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with `Polling -> "polling" | `Event -> "sched" | `Parallel -> "parallel")
+  in
+  Arg.conv (parse, print)
+
+let driver_arg =
+  Arg.(
+    value & opt driver_kind_conv `Event
+    & info [ "driver" ] ~docv:"DRIVER"
+        ~doc:
+          "Fabric driver: $(b,polling) (rescan every PE each round), \
+           $(b,sched) (event-driven ready queue, the default; $(b,event) is \
+           an alias), or $(b,parallel) (domain-decomposed event-driven \
+           execution, see --domains).  Results are bit-identical across all \
+           three.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain count for --driver parallel: the grid is cut into N \
+           vertical strips, each simulated on its own core.  0 (the \
+           default) uses the runtime's recommended count.")
+
+let resolve_driver kind domains : F.driver =
+  match kind with
+  | `Polling -> F.Polling
+  | `Event -> F.Event_driven
+  | `Parallel ->
+      F.Parallel
+        (if domains <= 0 then Domain.recommended_domain_count () else domains)
+
 (** Freshly initialized state grids for a frontend program. *)
 let init_grids_of (p : P.t) : I.grid list =
   let ft = P.field_type p in
@@ -152,17 +207,39 @@ let stats_arg =
           "Print the scheduler counters and the per-PE busy/blocked summary \
            after the run.")
 
+let time_arg =
+  Arg.(
+    value & flag
+    & info [ "time" ]
+        ~doc:
+          "Also report the simulator's own wall-clock time (seconds), the \
+           driver and the domain count — the host-side cost of the run, as \
+           opposed to the simulated cycles.")
+
+let sim_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable run summary (simulated cycles, wall_s, \
+           driver, domains, reference divergence).")
+
 let simulate_cmd =
-  let run bench input size iterations machine stats =
+  let run bench input size iterations machine stats driver_kind domains time
+      json_out =
     let* prog, m = program_of ~bench ~input ~size ~iterations in
     let compiled = Wsc_core.Pipeline.compile ~options:pipeline_options m in
     match prog with
     | None -> Error (`Msg "simulate: reference check needs --bench")
     | Some p ->
+        let driver = resolve_driver driver_kind domains in
         let init = init_grids_of p in
         (* simulate first: the fabric guards (grid size, per-PE memory)
            reject oversized runs before the expensive reference pass *)
-        let h = Wsc_wse.Host.simulate machine compiled init in
+        let t0 = Unix.gettimeofday () in
+        let h = Wsc_wse.Host.simulate ~driver machine compiled init in
+        let wall_s = Unix.gettimeofday () -. t0 in
         let out = Wsc_wse.Host.read_all h in
         let ref_grids = P.run_reference p in
         let maxd =
@@ -175,6 +252,9 @@ let simulate_cmd =
           (1e3 *. F.elapsed_seconds h.sim);
         Printf.printf "  flops=%.3e  sent=%d elems  tasks=%d\n" st.flops
           st.elems_sent st.task_activations;
+        if time then
+          Printf.printf "  wall %.3f s  (driver=%s domains=%d)\n" wall_s
+            (F.driver_name driver) (F.driver_domains driver);
         if stats then begin
           let k = F.sched_stats h.sim in
           Printf.printf
@@ -187,6 +267,32 @@ let simulate_cmd =
         Printf.printf "  max |difference| vs sequential reference: %.3e  -> %s\n"
           maxd
           (if maxd < 1e-4 then "MATCH" else "MISMATCH");
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            let module J = Wsc_trace.Json in
+            write_json path
+              (J.summary ~tool:"simulate"
+                 ~config:
+                   [
+                     ("bench", J.String p.P.pname);
+                     ("machine", J.String machine.name);
+                     ("size", J.String (B.size_to_string size));
+                     ("width", J.Int h.sim.width);
+                     ("height", J.Int h.sim.height);
+                   ]
+                 ~results:
+                   [
+                     J.Obj
+                       [
+                         ("cycles", J.Float (F.elapsed_cycles h.sim));
+                         ("seconds", J.Float (F.elapsed_seconds h.sim));
+                         ("wall_s", J.Float wall_s);
+                         ("driver", J.String (F.driver_name driver));
+                         ("domains", J.Int (F.driver_domains driver));
+                         ("max_diff", J.Float maxd);
+                       ];
+                   ]));
         if maxd >= 1e-4 then exit 1;
         Ok ()
   in
@@ -196,7 +302,7 @@ let simulate_cmd =
     Term.(
       term_result
         (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ machine_arg
-       $ stats_arg))
+       $ stats_arg $ driver_arg $ domains_arg $ time_arg $ sim_json_arg))
 
 (* ---------------- trace ---------------- *)
 
@@ -318,23 +424,6 @@ let no_resilience_arg =
           "Disable the detection & recovery protocol: faults land undetected \
            (measures raw vulnerability instead of recovery overhead).")
 
-let driver_conv =
-  let parse = function
-    | "polling" -> Ok F.Polling
-    | "event" -> Ok F.Event_driven
-    | s -> Error (`Msg ("unknown driver: " ^ s))
-  in
-  Arg.conv
-    ( parse,
-      fun fmt d ->
-        Format.pp_print_string fmt
-          (match d with F.Polling -> "polling" | F.Event_driven -> "event") )
-
-let driver_arg =
-  Arg.(
-    value & opt driver_conv F.Event_driven
-    & info [ "driver" ] ~docv:"DRIVER" ~doc:"Fabric driver: event or polling.")
-
 let faults_json_arg =
   Arg.(
     value
@@ -351,14 +440,15 @@ let faults_trace_arg =
            one shared timeline and export it as Chrome-trace JSON.")
 
 let faults_cmd =
-  let run bench size iterations machine driver kinds rates seeds no_resilience
-      json_out trace_out =
+  let run bench size iterations machine driver_kind domains kinds rates seeds
+      no_resilience json_out trace_out =
     match bench with
     | None -> Error (`Msg "faults: --bench required")
     | Some id -> (
         match B.find id with
         | exception Invalid_argument msg -> Error (`Msg msg)
         | _ ->
+            let driver = resolve_driver driver_kind domains in
             let sink = Option.map (fun _ -> T.collector ()) trace_out in
             let report =
               Campaign.run ~driver ~machine ?iterations ~kinds ?trace:sink
@@ -390,8 +480,8 @@ let faults_cmd =
     Term.(
       term_result
         (const run $ bench_arg $ size_arg $ iters_arg $ machine_arg $ driver_arg
-       $ kinds_arg $ rates_arg $ seeds_arg $ no_resilience_arg $ faults_json_arg
-       $ faults_trace_arg))
+       $ domains_arg $ kinds_arg $ rates_arg $ seeds_arg $ no_resilience_arg
+       $ faults_json_arg $ faults_trace_arg))
 
 (* ---------------- fuzz / reduce ---------------- *)
 
@@ -437,13 +527,6 @@ let fuzz_json_arg =
     value
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Also write the campaign summary as JSON.")
-
-let write_json (path : string) (doc : Wsc_trace.Json.t) : unit =
-  let oc = open_out path in
-  Wsc_trace.Json.to_channel oc doc;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n" path
 
 let fuzz_cmd =
   let run count seed machine crash_dir inject_bug reduce_budget json_out =

@@ -54,9 +54,7 @@ let survival_rate (r : report) : float =
 (** The simulator's usual acceptance threshold vs the reference. *)
 let match_tolerance = 1e-4
 
-let driver_to_string = function
-  | Fabric.Polling -> "polling"
-  | Fabric.Event_driven -> "event"
+let driver_to_string = Fabric.driver_name
 
 (** Freshly initialized state grids (same init as the CLI / tests). *)
 let init_grids_of (p : P.t) : I.grid list =

@@ -203,6 +203,43 @@ let counter (s : sink) ~pid ~tid ~name ~(values : (string * float) list) (ts : f
           ev_args = List.map (fun (k, v) -> (k, Afloat v)) values;
         }
 
+(** Append each source collector's events into [into], in list order.
+    Emission order is preserved within each source; flow ids are
+    renumbered from [into]'s counter so pairs from different sources
+    never collide.  The result is deterministic in (sources, their
+    contents): merging the per-domain collectors of a parallel
+    simulation in tile order therefore yields the same trace on every
+    run.  Null sinks (on either side) contribute nothing. *)
+let merge_into ~(into : sink) (sources : sink list) : unit =
+  match into with
+  | Null -> ()
+  | Collector dst ->
+      List.iter
+        (function
+          | Null -> ()
+          | Collector src ->
+              (* renumber [1 .. src.next_flow_id) to a fresh range *)
+              let offset = dst.next_flow_id - 1 in
+              dst.next_flow_id <- dst.next_flow_id + src.next_flow_id - 1;
+              let remap ev =
+                if ev.ev_id = 0 then ev else { ev with ev_id = ev.ev_id + offset }
+              in
+              (* both lists are newest-first; prepending the source block
+                 keeps source events after everything already collected *)
+              dst.events <- List.map remap src.events @ dst.events;
+              dst.count <- dst.count + src.count;
+              Hashtbl.iter
+                (fun k v ->
+                  if not (Hashtbl.mem dst.track_names k) then
+                    Hashtbl.replace dst.track_names k v)
+                src.track_names;
+              Hashtbl.iter
+                (fun k v ->
+                  if not (Hashtbl.mem dst.process_names k) then
+                    Hashtbl.replace dst.process_names k v)
+                src.process_names)
+        sources
+
 let track_names = function
   | Null -> []
   | Collector c ->

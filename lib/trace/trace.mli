@@ -85,5 +85,14 @@ val counter :
   sink -> pid:int -> tid:int -> name:string -> values:(string * float) list ->
   float -> unit
 
+(** [merge_into ~into sources] appends every source collector's events
+    into [into], in list order, preserving each source's emission order
+    and renumbering flow ids so pairs from different sources never
+    collide.  Deterministic in the sources and their contents — this is
+    how the parallel fabric driver folds its per-domain collectors into
+    the caller's sink (tile order), so a traced parallel run exports the
+    same timeline every time.  Null sinks contribute nothing. *)
+val merge_into : into:sink -> sink list -> unit
+
 val track_names : sink -> ((int * int) * string) list
 val process_names : sink -> (int * string) list

@@ -135,6 +135,36 @@ type pe_stats = {
   mutable mem_bytes : float;  (** local SRAM traffic of the DSD builtins *)
 }
 
+(** First field in which two per-PE stat records differ, with both
+    values; [None] when equal.  The cross-driver bit-identity
+    assertions in the benchmark harness and the tests share this, so
+    every mismatch names the culprit field instead of printing two
+    opaque tuples. *)
+let stats_diff (a : pe_stats) (b : pe_stats) : string option =
+  let fl name av bv =
+    if (av : float) <> bv then Some (Printf.sprintf "%s: %.17g <> %.17g" name av bv)
+    else None
+  in
+  let it name av bv =
+    if (av : int) <> bv then Some (Printf.sprintf "%s: %d <> %d" name av bv)
+    else None
+  in
+  List.fold_left
+    (fun acc d -> match acc with Some _ -> acc | None -> d ())
+    None
+    [
+      (fun () -> fl "compute_cycles" a.compute_cycles b.compute_cycles);
+      (fun () -> fl "send_cycles" a.send_cycles b.send_cycles);
+      (fun () -> fl "wait_cycles" a.wait_cycles b.wait_cycles);
+      (fun () -> it "task_activations" a.task_activations b.task_activations);
+      (fun () -> fl "flops" a.flops b.flops);
+      (fun () -> it "elems_sent" a.elems_sent b.elems_sent);
+      (fun () -> it "elems_drained" a.elems_drained b.elems_drained);
+      (fun () -> fl "mem_bytes" a.mem_bytes b.mem_bytes);
+    ]
+
+let stats_equal (a : pe_stats) (b : pe_stats) : bool = stats_diff a b = None
+
 type send_record = {
   sr_chunk_ready : float array;  (** completion time of each chunk injection *)
   sr_data : float array list;  (** snapshot of the sent z-range, per input *)
@@ -185,23 +215,44 @@ module Sched = struct
   type t = {
     stats : stats;
     ready : (int * int) Queue.t;  (** PE coordinates awaiting a step *)
-    enqueued : (int * int, unit) Hashtbl.t;  (** members of [ready] *)
+    width : int;  (** grid width, for bitset indexing *)
+    enqueued : Bytes.t;
+        (** membership bitset of [ready], bit [y * width + x]: one flat
+            byte per 8 PEs instead of hashing a coordinate pair on every
+            enqueue and pop *)
     waiters : (key, (int * int) list) Hashtbl.t;  (** per-send wake lists *)
   }
 
-  let create () =
+  let create ~(width : int) ~(height : int) =
     {
       stats = { scans = 0; probes = 0; wakeups = 0; parks = 0; max_queue_depth = 0 };
       ready = Queue.create ();
-      enqueued = Hashtbl.create 64;
+      width;
+      enqueued = Bytes.make (((width * height) + 7) / 8) '\000';
       waiters = Hashtbl.create 64;
     }
 
   let stats (s : t) = s.stats
 
+  let mem (s : t) ((x, y) : int * int) : bool =
+    let i = (y * s.width) + x in
+    Char.code (Bytes.get s.enqueued (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let set_mem (s : t) ((x, y) : int * int) : unit =
+    let i = (y * s.width) + x in
+    Bytes.set s.enqueued (i lsr 3)
+      (Char.chr (Char.code (Bytes.get s.enqueued (i lsr 3)) lor (1 lsl (i land 7))))
+
+  let clear_mem (s : t) ((x, y) : int * int) : unit =
+    let i = (y * s.width) + x in
+    Bytes.set s.enqueued (i lsr 3)
+      (Char.chr
+         (Char.code (Bytes.get s.enqueued (i lsr 3))
+         land (lnot (1 lsl (i land 7)) land 0xff)))
+
   let enqueue (s : t) (coord : int * int) : unit =
-    if not (Hashtbl.mem s.enqueued coord) then begin
-      Hashtbl.replace s.enqueued coord ();
+    if not (mem s coord) then begin
+      set_mem s coord;
       Queue.push coord s.ready;
       let d = Queue.length s.ready in
       if d > s.stats.max_queue_depth then s.stats.max_queue_depth <- d
@@ -210,7 +261,7 @@ module Sched = struct
   let pop (s : t) : (int * int) option =
     match Queue.pop s.ready with
     | coord ->
-        Hashtbl.remove s.enqueued coord;
+        clear_mem s coord;
         Some coord
     | exception Queue.Empty -> None
 
@@ -260,6 +311,11 @@ type t = {
       (** fault-injection schedule and resilience bookkeeping; with
           {!Faults.null} (the default) every injection site is a dead
           branch, exactly like the trace sink *)
+  mutable on_send : (Sched.key -> send_record -> unit) option;
+      (** observation hook run by the send-registration path right after
+          a record is stored: the parallel driver exports boundary sends
+          to its per-edge mailboxes through it.  [None] (the sequential
+          drivers) costs one branch per send. *)
 }
 
 let new_pe (program : op) x y : pe =
@@ -361,9 +417,10 @@ let create ?(trace = Trace.null) ?(faults = Faults.null) (machine : Machine.t)
     z_halo = int_attr_exn program "z_halo";
     zfull = int_attr_exn program "zfull";
     nz = int_attr_exn program "nz";
-    sched = Sched.create ();
+    sched = Sched.create ~width ~height;
     trace;
     faults;
+    on_send = None;
   }
 
 (** {1 Trace emission}
@@ -451,8 +508,11 @@ let link_outcome (sim : t) (pe : pe) ~(apply : int) ~(seq : int) ~(chunk : int)
   let m = sim.machine in
   let dx = pe.px and dy = pe.py in
   let at = ref at in
+  (* the counters in [st] are shared by every domain of the parallel
+     driver, so every update goes through the injector's lock; the
+     decisions themselves are pure and need none *)
   if Faults.backpressure_here f ~apply ~seq ~chunk ~input ~sx ~sy ~dx ~dy then begin
-    st.backpressures <- st.backpressures + 1;
+    Faults.locked f (fun () -> st.backpressures <- st.backpressures + 1);
     at := !at +. (Faults.config f).backpressure_cycles;
     trace_fault sim pe ~name:"backpressure" !at
   end;
@@ -475,11 +535,11 @@ let link_outcome (sim : t) (pe : pe) ~(apply : int) ~(seq : int) ~(chunk : int)
       match fault 0 with
       | None -> (!at, Clean)
       | Some Lost ->
-          st.drops <- st.drops + 1;
+          Faults.locked f (fun () -> st.drops <- st.drops + 1);
           trace_fault sim pe ~name:"drop" !at;
           (!at, Lost)
       | Some (Damaged _ as dmg) ->
-          st.corrupts <- st.corrupts + 1;
+          Faults.locked f (fun () -> st.corrupts <- st.corrupts + 1);
           trace_fault sim pe ~name:"corrupt" !at;
           (!at, dmg)
       | Some Clean -> assert false)
@@ -497,13 +557,13 @@ let link_outcome (sim : t) (pe : pe) ~(apply : int) ~(seq : int) ~(chunk : int)
             let detected =
               match outcome with
               | Lost ->
-                  st.drops <- st.drops + 1;
+                  Faults.locked f (fun () -> st.drops <- st.drops + 1);
                   trace_fault sim pe ~name:"drop" !at;
                   (* loss is always detected: the sequence number never
                      arrives and the receiver timeout fires *)
                   true
               | Damaged (idx, noise) ->
-                  st.corrupts <- st.corrupts + 1;
+                  Faults.locked f (fun () -> st.corrupts <- st.corrupts + 1);
                   trace_fault sim pe ~name:"corrupt" !at;
                   (* receiver-side integrity check: recompute the
                      checksum over the damaged copy and compare against
@@ -518,7 +578,7 @@ let link_outcome (sim : t) (pe : pe) ~(apply : int) ~(seq : int) ~(chunk : int)
             if not detected then
               (!at, outcome) (* undetected corruption: delivered as-is *)
             else if a >= r.Faults.max_retries then begin
-              st.giveups <- st.giveups + 1;
+              Faults.locked f (fun () -> st.giveups <- st.giveups + 1);
               Faults.taint f ~x:pe.px ~y:pe.py;
               trace_fault sim pe ~name:"giveup" !at;
               (!at, Lost)
@@ -534,8 +594,9 @@ let link_outcome (sim : t) (pe : pe) ~(apply : int) ~(seq : int) ~(chunk : int)
               in
               let cost = wait +. rtt +. reinject in
               at := !at +. cost;
-              st.retries <- st.retries + 1;
-              st.recovery_cycles <- st.recovery_cycles +. cost;
+              Faults.locked f (fun () ->
+                  st.retries <- st.retries + 1;
+                  st.recovery_cycles <- st.recovery_cycles +. cost);
               trace_fault sim pe ~name:"retry" !at;
               attempt (a + 1)
             end
@@ -788,8 +849,11 @@ let register_send (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) : unit =
     trace_span sim pe ~cat:"send"
       ~name:(Printf.sprintf "inject a%d#%d" cfg.apply_id seq)
       inject_start pe.clock;
-  Hashtbl.replace sim.sends (cfg.apply_id, seq, pe.px, pe.py)
-    { sr_chunk_ready = ready; sr_data = data };
+  let record = { sr_chunk_ready = ready; sr_data = data } in
+  Hashtbl.replace sim.sends (cfg.apply_id, seq, pe.px, pe.py) record;
+  (match sim.on_send with
+  | None -> ()
+  | Some export -> export (cfg.apply_id, seq, pe.px, pe.py) record);
   (* taint propagation: data computed from substituted or unrecoverable
      inputs invalidates every receiver that reduces this send *)
   if Faults.enabled sim.faults && Faults.is_tainted sim.faults ~x:pe.px ~y:pe.py
@@ -1063,8 +1127,9 @@ let run_tasks (sim : t) (pe : pe) : bool =
                if Faults.stall_here sim.faults ~x:pe.px ~y:pe.py ~activation:n
                then begin
                  let cycles = (Faults.config sim.faults).stall_cycles in
-                 (Faults.stats sim.faults).stalls <-
-                   (Faults.stats sim.faults).stalls + 1;
+                 Faults.locked sim.faults (fun () ->
+                     let st = Faults.stats sim.faults in
+                     st.stalls <- st.stalls + 1);
                  trace_span sim pe ~cat:"fault" ~name:"stall" pe.clock
                    (pe.clock +. cycles);
                  pe.clock <- pe.clock +. cycles;
@@ -1114,18 +1179,21 @@ let step_pe (sim : t) (pe : pe) : bool =
     !progressed
   end
 
+(** Start the program on the PEs of columns [x0..x1] (the parallel
+    driver launches each strip from its own domain). *)
+let launch_cols (sim : t) (x0 : int) (x1 : int) : unit =
+  for x = x0 to x1 do
+    Array.iter
+      (fun pe ->
+        let run_start = pe.clock in
+        let comms = exec_func sim pe "run" [] in
+        trace_span sim pe ~cat:"compute" ~name:"run" run_start pe.clock;
+        List.iter (start_exchange sim pe) comms)
+      sim.pes.(x)
+  done
+
 (** Start the program on every PE (host calls the exported [run]). *)
-let launch (sim : t) : unit =
-  Array.iter
-    (fun col ->
-      Array.iter
-        (fun pe ->
-          let run_start = pe.clock in
-          let comms = exec_func sim pe "run" [] in
-          trace_span sim pe ~cat:"compute" ~name:"run" run_start pe.clock;
-          List.iter (start_exchange sim pe) comms)
-        col)
-    sim.pes
+let launch (sim : t) : unit = launch_cols sim 0 (sim.width - 1)
 
 (** {2 Deadlock diagnostics} *)
 
@@ -1256,8 +1324,16 @@ let deadlock_report (sim : t) : string =
     drivers alternate run / degrade rounds until either everything
     finishes or degradation stops making progress (a true deadlock).
     Without resilience (or with no injector) this is a no-op and the
-    quiescent fabric is reported as deadlocked, as in the seed. *)
-let degrade (sim : t) : bool =
+    quiescent fabric is reported as deadlocked, as in the seed.
+    [notify] overrides where wakes are delivered: the parallel driver
+    passes a broadcast into its per-strip schedulers, since that is
+    where the receivers are parked. *)
+let degrade ?notify (sim : t) : bool =
+  let notify =
+    match notify with
+    | Some f -> f
+    | None -> fun k -> ignore (Sched.notify sim.sched k)
+  in
   let f = sim.faults in
   if not (Faults.enabled f) then false
   else
@@ -1281,16 +1357,16 @@ let degrade (sim : t) : bool =
                           if Faults.is_halted f ~x:sx ~y:sy then begin
                             Faults.skip_send f ~apply:w.w_cfg.apply_id
                               ~seq:w.w_seq ~x:sx ~y:sy;
-                            let st = Faults.stats f in
-                            st.halt_timeouts <- st.halt_timeouts + 1;
-                            st.recovery_cycles <-
-                              st.recovery_cycles +. r.Faults.halt_timeout_cycles;
+                            Faults.locked f (fun () ->
+                                let st = Faults.stats f in
+                                st.halt_timeouts <- st.halt_timeouts + 1;
+                                st.recovery_cycles <-
+                                  st.recovery_cycles
+                                  +. r.Faults.halt_timeout_cycles);
                             trace_fault sim pe ~name:"halt-timeout"
                               (w.w_registered_at +. r.Faults.halt_timeout_cycles);
                             marked := true;
-                            ignore
-                              (Sched.notify sim.sched
-                                 (w.w_cfg.apply_id, w.w_seq, sx, sy))
+                            notify (w.w_cfg.apply_id, w.w_seq, sx, sy)
                           end)
                         (missing_senders sim pe w))
               col)
@@ -1299,7 +1375,7 @@ let degrade (sim : t) : bool =
 
 (** {2 Drivers} *)
 
-type driver = Polling | Event_driven
+type driver = Polling | Event_driven | Parallel of int
 
 (** The seed driver: rescan every PE of the grid each round until no PE
     makes progress.  Kept for scheduler-equivalence testing and the
@@ -1328,20 +1404,13 @@ let run_polling ~(max_rounds : int) (sim : t) : unit =
   in
   drive ()
 
-(** Event-driven driver: pop runnable PEs off the ready queue; a PE that
+(** Pop runnable PEs off [sim]'s ready queue until it drains; a PE that
     blocks on an exchange parks on the wake list of its first missing
     sender and is re-enqueued by that sender's [register_send] (see
-    {!Sched}).  Execution order differs from the polling driver but
-    per-PE results are identical: a PE's behaviour depends only on its
-    own state and on send records, which are immutable once registered. *)
-let run_event ~(max_rounds : int) (sim : t) : unit =
+    {!Sched}).  Shared by the event-driven driver (whole grid) and the
+    parallel driver (one call per strip per round). *)
+let drain_ready ~(budget : int) (sim : t) : unit =
   let s = sim.sched in
-  (* same divergence guard as the polling driver: it allowed up to
-     [max_rounds] whole-grid rescans *)
-  let budget = max_rounds * sim.width * sim.height in
-  Array.iter
-    (fun col -> Array.iter (fun pe -> Sched.enqueue s (pe.px, pe.py)) col)
-    sim.pes;
   let rec loop () =
     match Sched.pop s with
     | None -> ()
@@ -1372,8 +1441,21 @@ let run_event ~(max_rounds : int) (sim : t) : unit =
         end;
         loop ()
   in
+  loop ()
+
+(** Event-driven driver.  Execution order differs from the polling
+    driver but per-PE results are identical: a PE's behaviour depends
+    only on its own state and on send records, which are immutable once
+    registered. *)
+let run_event ~(max_rounds : int) (sim : t) : unit =
+  (* same divergence guard as the polling driver: it allowed up to
+     [max_rounds] whole-grid rescans *)
+  let budget = max_rounds * sim.width * sim.height in
+  Array.iter
+    (fun col -> Array.iter (fun pe -> Sched.enqueue sim.sched (pe.px, pe.py)) col)
+    sim.pes;
   let rec drive () =
-    loop ();
+    drain_ready ~budget sim;
     if not (all_done sim) then
       (* the queue drained but PEs are still blocked: degrade past any
          halted senders (which wakes their parked receivers) and rerun *)
@@ -1382,15 +1464,238 @@ let run_event ~(max_rounds : int) (sim : t) : unit =
   in
   drive ()
 
+(** {2 Parallel driver (conservative bulk-synchronous PDES)}
+
+    The grid is cut into contiguous vertical strips, one per domain;
+    each strip runs {!drain_ready} on its own [Domain.t] over a private
+    view of the simulator — its own send table, scheduler and trace
+    collector, while PE state is only ever touched by the strip that
+    owns the PE.  Strips synchronize conservatively in bulk-synchronous
+    rounds: a send registered within [reach] columns of a strip edge is
+    also appended to that edge's outbox (single-writer during the
+    round, so no locks; ownership transfers at the barrier), and after
+    every domain joins, the coordinator routes each outbox entry into
+    the send table of every strip the sender can reach and wakes the
+    receivers parked on its key.  [reach] — the lookahead — is the
+    maximum swap depth any communicate config uses, i.e. the farthest a
+    wavelet travels in one exchange, so no strip can ever need a send
+    that has not yet crossed a barrier.
+
+    Bit-identity with the sequential drivers: arrival times are
+    computed from the immutable send record ([sr_chunk_ready] plus hop
+    latency), never from when the record became visible, and fault
+    decisions are pure site hashes — so deferring a record's visibility
+    to the next round delays *when* a receiver resumes, not *what* it
+    computes.  Per-PE execution sequences are therefore identical, and
+    so are pe_stats, drained fields and fault reports.  Per-strip trace
+    collectors are folded into the caller's sink in strip order, which
+    makes the merged trace deterministic for a fixed grid and domain
+    count (span sets and timestamps match the sequential drivers;
+    "sched" park/wake instants are driver-specific, as with polling). *)
+
+(** Farthest hop distance any communicate config of the program reaches:
+    the lookahead of the round barrier. *)
+let max_swap_depth (sim : t) : int =
+  find_ops
+    (fun o ->
+      o.opname = "csl.member_call"
+      &&
+      match attr o "field" with
+      | Some (String_attr "communicate") -> true
+      | _ -> false)
+    sim.program
+  |> List.fold_left
+       (fun acc o ->
+         let cfg = parse_comm_cfg (attr_exn o "config") in
+         List.fold_left
+           (fun acc inp ->
+             List.fold_left
+               (fun acc (sw : Dmp.swap_desc) -> max acc sw.depth)
+               acc inp.swaps)
+           acc cfg.inputs)
+       1
+
+type tile = {
+  t_sim : t;  (** private view: own sends / sched / trace, shared PEs *)
+  t_x0 : int;
+  t_x1 : int;
+  t_out_left : (Sched.key * send_record) list ref;  (** west-edge mailbox *)
+  t_out_right : (Sched.key * send_record) list ref;  (** east-edge mailbox *)
+}
+
+let run_parallel ~(max_rounds : int) ~(domains : int) (sim : t) : unit =
+  let n = max 1 (min domains sim.width) in
+  if n = 1 then begin
+    launch sim;
+    run_event ~max_rounds sim
+  end
+  else begin
+    let reach = max_swap_depth sim in
+    let tiles =
+      Array.init n (fun i ->
+          let x0 = i * sim.width / n and x1 = (((i + 1) * sim.width) / n) - 1 in
+          let t_out_left = ref [] and t_out_right = ref [] in
+          let export ((_, _, sx, _) as k : Sched.key) (r : send_record) : unit =
+            if sx - x0 < reach && x0 > 0 then t_out_left := (k, r) :: !t_out_left;
+            if x1 - sx < reach && x1 < sim.width - 1 then
+              t_out_right := (k, r) :: !t_out_right
+          in
+          let t_sim =
+            {
+              sim with
+              sends = Hashtbl.create 1024;
+              sched = Sched.create ~width:sim.width ~height:sim.height;
+              trace =
+                (if Trace.enabled sim.trace then Trace.collector ()
+                 else Trace.null);
+              on_send = Some export;
+            }
+          in
+          { t_sim; t_x0 = x0; t_x1 = x1; t_out_left; t_out_right })
+    in
+    (* per-strip divergence guard: the same whole-grid budget as the
+       sequential drivers *)
+    let budget = max_rounds * sim.width * sim.height in
+    let tile_round (tl : tile) ~(first : bool) : unit =
+      if first then begin
+        launch_cols tl.t_sim tl.t_x0 tl.t_x1;
+        for x = tl.t_x0 to tl.t_x1 do
+          for y = 0 to sim.height - 1 do
+            Sched.enqueue tl.t_sim.sched (x, y)
+          done
+        done
+      end;
+      drain_ready ~budget tl.t_sim
+    in
+    let round ~(first : bool) : unit =
+      let doms =
+        Array.map
+          (fun tl ->
+            Domain.spawn (fun () ->
+                match tile_round tl ~first with
+                | () -> Ok ()
+                | exception e -> Error e))
+          tiles
+      in
+      (* join every domain before re-raising, lowest strip first, so a
+         failure is reported deterministically and no domain leaks *)
+      let err = ref None in
+      Array.iter
+        (fun d ->
+          match Domain.join d with
+          | Ok () -> ()
+          | Error e -> if !err = None then err := Some e)
+        doms;
+      match !err with Some e -> raise e | None -> ()
+    in
+    (* barrier bookkeeping: deliver each mailbox entry to every strip
+       within lookahead reach of the sender's column and wake receivers
+       parked on its key (main thread only; no domain is running) *)
+    let route () : unit =
+      let deliver j ((k : Sched.key), r) =
+        let dst = tiles.(j).t_sim in
+        if not (Hashtbl.mem dst.sends k) then begin
+          Hashtbl.replace dst.sends k r;
+          ignore (Sched.notify dst.sched k)
+        end
+      in
+      Array.iteri
+        (fun i tl ->
+          List.iter
+            (fun (((_, _, sx, _), _) as entry) ->
+              let j = ref (i + 1) in
+              while !j < n && tiles.(!j).t_x0 - sx <= reach do
+                deliver !j entry;
+                incr j
+              done)
+            (List.rev !(tl.t_out_right));
+          tl.t_out_right := [];
+          List.iter
+            (fun (((_, _, sx, _), _) as entry) ->
+              let j = ref (i - 1) in
+              while !j >= 0 && sx - tiles.(!j).t_x1 <= reach do
+                deliver !j entry;
+                decr j
+              done)
+            (List.rev !(tl.t_out_left));
+          tl.t_out_left := [])
+        tiles
+    in
+    let pending () =
+      Array.exists
+        (fun tl -> not (Queue.is_empty tl.t_sim.sched.Sched.ready))
+        tiles
+    in
+    let rec rounds ~first : unit =
+      round ~first;
+      route ();
+      if pending () then rounds ~first:false
+    in
+    (* global diagnostics (all_done / degrade / deadlock_report) run on
+       the caller's view, which needs every strip's sends *)
+    let merge_sends () =
+      Array.iter
+        (fun tl ->
+          Hashtbl.iter (fun k r -> Hashtbl.replace sim.sends k r) tl.t_sim.sends)
+        tiles
+    in
+    let notify_tiles k =
+      Array.iter (fun tl -> ignore (Sched.notify tl.t_sim.sched k)) tiles
+    in
+    let rec finish () =
+      merge_sends ();
+      if not (all_done sim) then
+        if degrade ~notify:notify_tiles sim then begin
+          rounds ~first:false;
+          finish ()
+        end
+        else raise (Sim_error (deadlock_report sim))
+    in
+    rounds ~first:true;
+    finish ();
+    (* fold per-strip observations into the caller's view: traces merged
+       in strip order (deterministic), scheduler counters summed *)
+    if Trace.enabled sim.trace then
+      Trace.merge_into ~into:sim.trace
+        (Array.to_list (Array.map (fun tl -> tl.t_sim.trace) tiles));
+    let mst = sim.sched.Sched.stats in
+    Array.iter
+      (fun tl ->
+        let st = Sched.stats tl.t_sim.sched in
+        mst.Sched.scans <- mst.Sched.scans + st.Sched.scans;
+        mst.Sched.probes <- mst.Sched.probes + st.Sched.probes;
+        mst.Sched.wakeups <- mst.Sched.wakeups + st.Sched.wakeups;
+        mst.Sched.parks <- mst.Sched.parks + st.Sched.parks;
+        if st.Sched.max_queue_depth > mst.Sched.max_queue_depth then
+          mst.Sched.max_queue_depth <- st.Sched.max_queue_depth)
+      tiles
+  end
+
+(** Short name for reports and JSON summaries; the domain count of
+    [Parallel] is reported separately by its consumers. *)
+let driver_name = function
+  | Polling -> "polling"
+  | Event_driven -> "event"
+  | Parallel _ -> "parallel"
+
+(** Domain count a driver asks for (0 for the sequential drivers). *)
+let driver_domains = function
+  | Polling | Event_driven -> 0
+  | Parallel n -> n
+
 (** Drive until every PE unblocks the command stream. *)
 let run_to_completion ?max_rounds ?(driver = Event_driven) (sim : t) : unit =
   let max_rounds =
     match max_rounds with Some r -> r | None -> sim.machine.sim_max_rounds
   in
-  launch sim;
   match driver with
-  | Polling -> run_polling ~max_rounds sim
-  | Event_driven -> run_event ~max_rounds sim
+  | Polling ->
+      launch sim;
+      run_polling ~max_rounds sim
+  | Event_driven ->
+      launch sim;
+      run_event ~max_rounds sim
+  | Parallel domains -> run_parallel ~max_rounds ~domains sim
 
 (** Scheduler counters of the last run. *)
 let sched_stats (sim : t) : Sched.stats = Sched.stats sim.sched

@@ -36,10 +36,21 @@ type pe_stats = {
   mutable mem_bytes : float;  (** SRAM traffic of the DSD builtins *)
 }
 
+(** First field in which two per-PE stat records differ, with both
+    values (e.g. ["elems_sent: 128 <> 130"]); [None] when equal.  The
+    cross-driver bit-identity assertions in the benchmark harness and
+    the tests share this, so every mismatch names the culprit field. *)
+val stats_diff : pe_stats -> pe_stats -> string option
+
+(** [stats_diff a b = None]. *)
+val stats_equal : pe_stats -> pe_stats -> bool
+
 (** Event-driven scheduler: a ready queue of runnable PEs plus per-send
     wake lists, so a PE blocked on a neighbour exchange is woken exactly
     when the matching send registers instead of being re-polled every
-    round.  Counters feed the [sched] microbenchmark. *)
+    round.  Ready-queue membership is a flat [Bytes.t] bitset indexed
+    [y * width + x] — no per-step hashing of coordinate pairs.
+    Counters feed the [sched] microbenchmark. *)
 module Sched : sig
   (** A pending send: (apply_id, seq, sender x, sender y). *)
   type key = int * int * int * int
@@ -54,7 +65,10 @@ module Sched : sig
 
   type t
 
-  val create : unit -> t
+  (** A scheduler for a [width] x [height] grid (the dimensions size the
+      membership bitset). *)
+  val create : width:int -> height:int -> t
+
   val stats : t -> stats
 end
 
@@ -97,6 +111,11 @@ type t = {
       (** fault-injection schedule and resilience bookkeeping; with
           {!Wsc_faults.Faults.null} (the default) every injection site
           is a dead branch, exactly like the trace sink *)
+  mutable on_send : (Sched.key -> send_record -> unit) option;
+      (** observation hook run by the send-registration path right after
+          a record is stored: the parallel driver exports boundary sends
+          to its per-edge mailboxes through it.  [None] (the sequential
+          drivers) costs one branch per send. *)
 }
 
 and send_record
@@ -134,10 +153,24 @@ val run_tasks : t -> pe -> bool
 
 (** How {!run_to_completion} drives the grid: [Polling] is the seed
     driver (rescan every PE each round); [Event_driven] (the default) is
-    the ready-queue/wake-list scheduler.  Elapsed cycles and per-PE
-    statistics are bit-identical between the two — a PE's behaviour
-    depends only on its own state and on immutable send records. *)
-type driver = Polling | Event_driven
+    the ready-queue/wake-list scheduler; [Parallel n] cuts the grid into
+    [n] contiguous vertical strips, each driven by the event scheduler
+    on its own [Domain.t], synchronizing conservatively at a
+    bulk-synchronous round barrier whose lookahead is the program's
+    maximum exchange hop distance.  Elapsed cycles, per-PE statistics,
+    drained fields and fault reports are bit-identical across all three
+    — a PE's behaviour depends only on its own state and on immutable
+    send records, whose arrival times are computed from record contents
+    rather than from when the driver made them visible.  [Parallel n]
+    with [n <= 1] (or a one-column grid) falls back to [Event_driven]. *)
+type driver = Polling | Event_driven | Parallel of int
+
+(** ["polling"], ["event"] or ["parallel"], for reports and JSON
+    summaries (the domain count is reported separately). *)
+val driver_name : driver -> string
+
+(** Domain count a driver asks for (0 for the sequential drivers). *)
+val driver_domains : driver -> int
 
 (** Start the program on every PE and drive the dependency-directed
     scheduler until every PE has unblocked the command stream.

@@ -14,6 +14,23 @@ module Host = Wsc_wse.Host
 let () = Core.Csl_stencil_interp.register ()
 let check = Alcotest.(check bool)
 
+(* CI reruns the whole suite under an alternative fabric driver by
+   setting WSC_DRIVER (polling | sched | parallel) and WSC_DOMAINS;
+   unset, everything runs under the default event driver *)
+let default_driver =
+  match Sys.getenv_opt "WSC_DRIVER" with
+  | Some "polling" -> Fabric.Polling
+  | Some ("sched" | "event") -> Fabric.Event_driven
+  | Some "parallel" ->
+      let domains =
+        match Sys.getenv_opt "WSC_DOMAINS" with
+        | Some s -> ( try int_of_string s with _ -> 2)
+        | None -> 2
+      in
+      Fabric.Parallel domains
+  | Some other -> invalid_arg ("WSC_DRIVER: unknown driver " ^ other)
+  | None -> Fabric.Event_driven
+
 let init_grids (p : P.t) =
   List.map
     (fun _ ->
@@ -25,7 +42,7 @@ let init_grids (p : P.t) =
 let simulate ?(options = Core.Pipeline.default_options)
     ?(machine = Machine.wse3) (p : P.t) : Host.t * I.grid list =
   let compiled = Core.Pipeline.compile ~options (P.compile p) in
-  let h = Host.simulate machine compiled (init_grids p) in
+  let h = Host.simulate ~driver:default_driver machine compiled (init_grids p) in
   (h, Host.read_all h)
 
 let assert_matches name (p : P.t) out =
@@ -226,33 +243,42 @@ let test_task_activations_positive () =
 (* scheduler: driver equivalence, deadlock diagnostics, task order     *)
 (* ------------------------------------------------------------------ *)
 
-let stats_tuple (s : Fabric.pe_stats) =
-  ( s.compute_cycles,
-    s.send_cycles,
-    s.wait_cycles,
-    s.task_activations,
-    s.flops,
-    s.elems_sent,
-    s.elems_drained,
-    s.mem_bytes )
-
 (* run one benchmark under a given driver and return everything the
    equivalence check compares; the host handle stays local so the PE
    grid is collectable between runs *)
 let run_with_driver driver (p : P.t) =
   let compiled = Core.Pipeline.compile (P.compile p) in
   let h = Host.simulate ~driver Machine.wse3 compiled (init_grids p) in
-  (Fabric.elapsed_cycles h.sim, stats_tuple (Fabric.total_stats h.sim), Host.read_all h)
+  (Fabric.elapsed_cycles h.sim, Fabric.total_stats h.sim, Host.read_all h)
+
+(* every driver the equivalence checks sweep: both sequential drivers
+   and the domain-parallel driver at 1, 2 and 4 domains (1 exercises
+   the sequential fallback, 2 and 4 the strip decomposition) *)
+let all_drivers =
+  [
+    Fabric.Polling;
+    Fabric.Event_driven;
+    Fabric.Parallel 1;
+    Fabric.Parallel 2;
+    Fabric.Parallel 4;
+  ]
+
+let driver_label d =
+  Printf.sprintf "%s/%d" (Fabric.driver_name d) (Fabric.driver_domains d)
 
 let assert_drivers_agree name (p : P.t) =
-  let cp, sp, op_ = run_with_driver Fabric.Polling p in
   let ce, se, oe = run_with_driver Fabric.Event_driven p in
-  check (name ^ ": elapsed cycles bit-identical") true (cp = ce);
-  check (name ^ ": aggregated pe_stats bit-identical") true (sp = se);
-  let maxd =
-    List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff op_ oe)
-  in
-  check (name ^ ": outputs bit-identical") true (maxd = 0.0)
+  List.iter
+    (fun driver ->
+      let c, s, o = run_with_driver driver p in
+      let name = name ^ " [" ^ driver_label driver ^ "]" in
+      check (name ^ ": elapsed cycles bit-identical") true (c = ce);
+      (match Fabric.stats_diff se s with
+      | None -> ()
+      | Some msg -> Alcotest.failf "%s: aggregated pe_stats differ: %s" name msg);
+      let maxd = List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff oe o) in
+      check (name ^ ": outputs bit-identical") true (maxd = 0.0))
+    all_drivers
 
 let test_driver_equivalence_tiny () =
   List.iter
@@ -264,6 +290,15 @@ let test_driver_equivalence_small () =
     (fun (d : B.descr) ->
       assert_drivers_agree (d.id ^ " small") (d.make_n B.Small 2))
     B.all
+
+(* qcheck: for any fuzzer-generated program, all five driver
+   configurations produce bit-identical cycles, stats and outputs *)
+let prop_drivers_agree_on_fuzzed =
+  QCheck.Test.make ~name:"drivers agree on fuzzer-generated programs"
+    ~count:12 QCheck.small_nat (fun index ->
+      let p = Wsc_harden.Fuzz.generate ~seed:23 ~index in
+      assert_drivers_agree (Wsc_harden.Fuzz.describe p) p;
+      true)
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -289,7 +324,60 @@ let test_deadlock_diagnostic () =
             (contains msg "blocked on exchange (apply_id=");
           check "report names the silent sender" true
             (contains msg "missing sender PE(1,0)"))
-    [ Fabric.Polling; Fabric.Event_driven ]
+    [ Fabric.Polling; Fabric.Event_driven; Fabric.Parallel 2 ]
+
+(* a fault campaign cell must replay bit-identically under the parallel
+   driver: same injection decisions, same integer recovery bookkeeping,
+   same validity mask, same fault report.  (Only [recovery_cycles] — a
+   float summed over PEs in driver-visit order — is exempt from the
+   cross-driver contract.) *)
+let test_fault_replay_parallel () =
+  let module Faults = Wsc_faults.Faults in
+  let p = (B.find "jacobian").make_n B.Tiny 3 in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let cfg =
+    {
+      Faults.default_config with
+      seed = 11;
+      drop_rate = 0.05;
+      corrupt_rate = 0.02;
+      resilience = Some Faults.default_resilience;
+    }
+  in
+  let run driver =
+    let faults = Faults.create cfg in
+    let h = Host.simulate ~driver ~faults Machine.wse3 compiled (init_grids p) in
+    let st = Faults.stats faults in
+    ( Fabric.elapsed_cycles h.sim,
+      Fabric.total_stats h.sim,
+      Host.read_all h,
+      Host.fault_report h,
+      Host.validity h,
+      ( st.Faults.drops,
+        st.Faults.corrupts,
+        st.Faults.stalls,
+        st.Faults.halts,
+        st.Faults.backpressures,
+        st.Faults.retries,
+        st.Faults.giveups,
+        st.Faults.halt_timeouts ) )
+  in
+  let ce, se, oe, re, ve, ke = run Fabric.Event_driven in
+  check "faults actually fired" true (let d, c, _, _, _, _, _, _ = ke in d + c > 0);
+  List.iter
+    (fun driver ->
+      let name = "faults [" ^ driver_label driver ^ "]" in
+      let c, s, o, r, v, k = run driver in
+      check (name ^ ": elapsed cycles") true (c = ce);
+      (match Fabric.stats_diff se s with
+      | None -> ()
+      | Some msg -> Alcotest.failf "%s: pe_stats differ: %s" name msg);
+      let maxd = List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff oe o) in
+      check (name ^ ": outputs bit-identical") true (maxd = 0.0);
+      check (name ^ ": fault report identical") true (r = re);
+      check (name ^ ": validity mask identical") true (v = ve);
+      check (name ^ ": fault counters identical") true (k = ke))
+    [ Fabric.Polling; Fabric.Parallel 2; Fabric.Parallel 4 ]
 
 let test_task_order_earliest_first () =
   (* regression for the dispatch-order bug: the hardware scheduler runs
@@ -376,15 +464,16 @@ let () =
           Alcotest.test_case "stats positive" `Quick test_task_activations_positive;
         ] );
       ( "scheduler",
-        [
-          Alcotest.test_case "driver equivalence (tiny)" `Quick
-            test_driver_equivalence_tiny;
-          Alcotest.test_case "driver equivalence (small)" `Slow
-            test_driver_equivalence_small;
-          Alcotest.test_case "deadlock diagnostic" `Quick test_deadlock_diagnostic;
-          Alcotest.test_case "earliest activation first" `Quick
-            test_task_order_earliest_first;
-        ] );
+        Alcotest.test_case "driver equivalence (tiny)" `Quick
+          test_driver_equivalence_tiny
+        :: Alcotest.test_case "driver equivalence (small)" `Slow
+             test_driver_equivalence_small
+        :: Alcotest.test_case "deadlock diagnostic" `Quick test_deadlock_diagnostic
+        :: Alcotest.test_case "fault replay across drivers" `Quick
+             test_fault_replay_parallel
+        :: Alcotest.test_case "earliest activation first" `Quick
+             test_task_order_earliest_first
+        :: List.map QCheck_alcotest.to_alcotest [ prop_drivers_agree_on_fuzzed ] );
       ( "host",
         [ Alcotest.test_case "custom initial data" `Quick test_custom_initial_data ] );
     ]

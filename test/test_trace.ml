@@ -33,16 +33,6 @@ let contains ~(sub : string) (s : string) : bool =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
-let stats_tuple (s : Fabric.pe_stats) =
-  ( s.compute_cycles,
-    s.send_cycles,
-    s.wait_cycles,
-    s.task_activations,
-    s.flops,
-    s.elems_sent,
-    s.elems_drained,
-    s.mem_bytes )
-
 (** Compile a benchmark at Tiny, collecting pass remarks. *)
 let compile_with_remarks (p : P.t) =
   let remarks = ref [] in
@@ -181,14 +171,14 @@ let test_tracing_bit_identical () =
           check (name ^ " cycles identical") true
             (Fabric.elapsed_cycles h0.sim = Fabric.elapsed_cycles h1.sim);
           check (name ^ " stats identical") true
-            (stats_tuple (Fabric.total_stats h0.sim)
-            = stats_tuple (Fabric.total_stats h1.sim));
+            (Fabric.stats_equal (Fabric.total_stats h0.sim)
+               (Fabric.total_stats h1.sim));
           List.iter2
             (fun g0 g1 ->
               check (name ^ " outputs identical") true (I.max_abs_diff g0 g1 = 0.0))
             (Host.read_all h0) (Host.read_all h1);
           check (name ^ " collected something") true (T.event_count sink > 0))
-        [ Fabric.Polling; Fabric.Event_driven ])
+        [ Fabric.Polling; Fabric.Event_driven; Fabric.Parallel 2 ])
     B.all
 
 (* ------------------------------------------------------------------ *)
