@@ -253,8 +253,10 @@ let simulate_cmd =
         Printf.printf "  flops=%.3e  sent=%d elems  tasks=%d\n" st.flops
           st.elems_sent st.task_activations;
         if time then
-          Printf.printf "  wall %.3f s  (driver=%s domains=%d)\n" wall_s
-            (F.driver_name driver) (F.driver_domains driver);
+          Printf.printf "  wall %.3f s  (driver=%s domains=%d requested=%d)\n"
+            wall_s (F.driver_name driver)
+            (F.effective_domains driver ~width:h.sim.width)
+            (F.driver_domains driver);
         if stats then begin
           let k = F.sched_stats h.sim in
           Printf.printf
@@ -289,7 +291,14 @@ let simulate_cmd =
                          ("seconds", J.Float (F.elapsed_seconds h.sim));
                          ("wall_s", J.Float wall_s);
                          ("driver", J.String (F.driver_name driver));
-                         ("domains", J.Int (F.driver_domains driver));
+                         (* effective worker count after clamping, not
+                            the request: --domains 0 expands to the
+                            runtime's recommended count and N > width
+                            clamps, so artifacts must not echo the ask *)
+                         ( "domains",
+                           J.Int (F.effective_domains driver ~width:h.sim.width)
+                         );
+                         ("domains_requested", J.Int (F.driver_domains driver));
                          ("max_diff", J.Float maxd);
                        ];
                    ]));

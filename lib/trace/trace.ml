@@ -13,8 +13,10 @@
     tracks), and counters.  A track is a [(pid, tid)] pair; by
     convention pid {!fabric_pid} carries one track per PE (timestamps in
     simulated cycles), pid {!compiler_pid} carries the pass pipeline
-    (timestamps in wall-clock microseconds), and pid {!host_pid} the
-    host-runtime markers (simulated cycles). *)
+    (timestamps in wall-clock microseconds), pid {!host_pid} the
+    host-runtime markers (simulated cycles), and pid {!driver_pid} the
+    parallel fabric driver's per-round counters (timestamps are round
+    numbers). *)
 
 type phase =
   | Span_begin
@@ -52,6 +54,7 @@ let fabric_pid = 0
 
 let compiler_pid = 1
 let host_pid = 2
+let driver_pid = 3
 
 let null : sink = Null
 

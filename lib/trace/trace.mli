@@ -32,11 +32,14 @@ type sink = Null | Collector of collector
 
 (** Track-group conventions (Chrome "processes"): one track per PE under
     [fabric_pid], the pass pipeline under [compiler_pid], host-runtime
-    markers under [host_pid]. *)
+    markers under [host_pid], and the parallel fabric driver's per-round
+    counters (scans per round, barrier backlog) under [driver_pid] with
+    round numbers as timestamps. *)
 val fabric_pid : int
 
 val compiler_pid : int
 val host_pid : int
+val driver_pid : int
 
 val null : sink
 

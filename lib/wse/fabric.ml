@@ -214,75 +214,98 @@ module Sched = struct
 
   type t = {
     stats : stats;
-    ready : (int * int) Queue.t;  (** PE coordinates awaiting a step *)
-    width : int;  (** grid width, for bitset indexing *)
+    ring : int array;
+        (** ready queue as a flat ring of PE indices [y * width + x]:
+            capacity [width * height] (the membership bitset caps
+            occupancy at one entry per PE), no box per element and no
+            allocation on the enqueue/pop hot path *)
+    mutable head : int;  (** next pop position in [ring] *)
+    mutable count : int;  (** live entries in [ring] *)
+    width : int;  (** grid width, for index encoding *)
     enqueued : Bytes.t;
-        (** membership bitset of [ready], bit [y * width + x]: one flat
-            byte per 8 PEs instead of hashing a coordinate pair on every
-            enqueue and pop *)
-    waiters : (key, (int * int) list) Hashtbl.t;  (** per-send wake lists *)
+        (** membership bitset of the ready ring, bit [y * width + x]:
+            one flat byte per 8 PEs instead of hashing a coordinate pair
+            on every enqueue and pop *)
+    waiters : (key, int list) Hashtbl.t;
+        (** per-send wake lists of parked PE indices *)
+    mutable quota : int;
+        (** scan allowance pre-acquired from the run's shared divergence
+            budget, so the hot loop touches the shared atomic only once
+            per {!budget_batch} scans *)
   }
 
   let create ~(width : int) ~(height : int) =
     {
       stats = { scans = 0; probes = 0; wakeups = 0; parks = 0; max_queue_depth = 0 };
-      ready = Queue.create ();
+      ring = Array.make (max 1 (width * height)) 0;
+      head = 0;
+      count = 0;
       width;
       enqueued = Bytes.make (((width * height) + 7) / 8) '\000';
       waiters = Hashtbl.create 64;
+      quota = 0;
     }
 
   let stats (s : t) = s.stats
 
-  let mem (s : t) ((x, y) : int * int) : bool =
-    let i = (y * s.width) + x in
+  let mem_idx (s : t) (i : int) : bool =
     Char.code (Bytes.get s.enqueued (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-  let set_mem (s : t) ((x, y) : int * int) : unit =
-    let i = (y * s.width) + x in
+  let set_mem_idx (s : t) (i : int) : unit =
     Bytes.set s.enqueued (i lsr 3)
       (Char.chr (Char.code (Bytes.get s.enqueued (i lsr 3)) lor (1 lsl (i land 7))))
 
-  let clear_mem (s : t) ((x, y) : int * int) : unit =
-    let i = (y * s.width) + x in
+  let clear_mem_idx (s : t) (i : int) : unit =
     Bytes.set s.enqueued (i lsr 3)
       (Char.chr
          (Char.code (Bytes.get s.enqueued (i lsr 3))
          land (lnot (1 lsl (i land 7)) land 0xff)))
 
-  let enqueue (s : t) (coord : int * int) : unit =
-    if not (mem s coord) then begin
-      set_mem s coord;
-      Queue.push coord s.ready;
-      let d = Queue.length s.ready in
-      if d > s.stats.max_queue_depth then s.stats.max_queue_depth <- d
+  let enqueue_idx (s : t) (i : int) : unit =
+    if not (mem_idx s i) then begin
+      set_mem_idx s i;
+      let cap = Array.length s.ring in
+      let p = s.head + s.count in
+      s.ring.(if p >= cap then p - cap else p) <- i;
+      s.count <- s.count + 1;
+      if s.count > s.stats.max_queue_depth then s.stats.max_queue_depth <- s.count
     end
 
-  let pop (s : t) : (int * int) option =
-    match Queue.pop s.ready with
-    | coord ->
-        clear_mem s coord;
-        Some coord
-    | exception Queue.Empty -> None
+  let enqueue (s : t) (x : int) (y : int) : unit = enqueue_idx s ((y * s.width) + x)
 
-  let park (s : t) (k : key) (coord : int * int) : unit =
+  (** Next ready PE index, or -1 when the ring is empty. *)
+  let pop (s : t) : int =
+    if s.count = 0 then -1
+    else begin
+      let i = s.ring.(s.head) in
+      let h = s.head + 1 in
+      s.head <- (if h >= Array.length s.ring then 0 else h);
+      s.count <- s.count - 1;
+      clear_mem_idx s i;
+      i
+    end
+
+  let is_empty (s : t) : bool = s.count = 0
+
+  let park (s : t) (k : key) (idx : int) : unit =
     s.stats.parks <- s.stats.parks + 1;
     let cur = Option.value (Hashtbl.find_opt s.waiters k) ~default:[] in
-    Hashtbl.replace s.waiters k (coord :: cur)
+    Hashtbl.replace s.waiters k (idx :: cur)
 
   (** A send landed: wake every PE parked on its key; returns the woken
-      coordinates (so the caller can trace the wakeups). *)
-  let notify (s : t) (k : key) : (int * int) list =
+      PE indices (the stored wake list itself — no fresh allocation — so
+      the caller can trace the wakeups). *)
+  let notify (s : t) (k : key) : int list =
     match Hashtbl.find_opt s.waiters k with
     | None -> []
-    | Some coords ->
+    | Some idxs ->
         Hashtbl.remove s.waiters k;
         List.iter
-          (fun c ->
+          (fun i ->
             s.stats.wakeups <- s.stats.wakeups + 1;
-            enqueue s c)
-          coords;
-        coords
+            enqueue_idx s i)
+          idxs;
+        idxs
 end
 
 (** {1 Simulator} *)
@@ -862,8 +885,8 @@ let register_send (sim : t) (pe : pe) (cfg : comm_cfg) (seq : int) : unit =
   let woken = Sched.notify sim.sched (cfg.apply_id, seq, pe.px, pe.py) in
   if Trace.enabled sim.trace then
     List.iter
-      (fun (wx, wy) ->
-        let wpe = sim.pes.(wx).(wy) in
+      (fun idx ->
+        let wpe = sim.pes.(idx mod sim.width).(idx / sim.width) in
         trace_instant sim wpe ~cat:"sched" ~name:"wake" wpe.clock)
       woken
 
@@ -1404,42 +1427,66 @@ let run_polling ~(max_rounds : int) (sim : t) : unit =
   in
   drive ()
 
-(** Pop runnable PEs off [sim]'s ready queue until it drains; a PE that
+(** Scans a scheduler pre-acquires from the run's shared divergence
+    budget in one atomic operation: large enough that the shared counter
+    stays off the hot path, small enough (versus any realistic budget of
+    [max_rounds * width * height]) that the guard still trips within a
+    sliver of the sequential bound. *)
+let budget_batch = 256
+
+(** Charge one PE scan against the run-wide budget shared by every
+    strip of the parallel driver (and trivially owned by the sequential
+    event driver).  Refills the scheduler's local quota in batches so a
+    livelocked program fails at (essentially) the same scan bound under
+    every driver, instead of each strip separately enjoying the whole
+    grid's allowance. *)
+let charge_scan (s : Sched.t) (budget : int Atomic.t) : unit =
+  if s.Sched.quota <= 0 then begin
+    if Atomic.fetch_and_add budget (-budget_batch) <= 0 then
+      fail "simulation did not converge";
+    s.Sched.quota <- budget_batch
+  end;
+  s.Sched.quota <- s.Sched.quota - 1
+
+(** Pop runnable PEs off [sim]'s ready ring until it drains; a PE that
     blocks on an exchange parks on the wake list of its first missing
     sender and is re-enqueued by that sender's [register_send] (see
     {!Sched}).  Shared by the event-driven driver (whole grid) and the
-    parallel driver (one call per strip per round). *)
-let drain_ready ~(budget : int) (sim : t) : unit =
+    parallel driver (per strip, interleaved with inbox deliveries).
+    [budget] is the run-wide scan allowance; see {!charge_scan}. *)
+let drain_ready ~(budget : int Atomic.t) (sim : t) : unit =
   let s = sim.sched in
+  let width = sim.width in
   let rec loop () =
-    match Sched.pop s with
-    | None -> ()
-    | Some (x, y) ->
-        let pe = sim.pes.(x).(y) in
-        s.Sched.stats.scans <- s.Sched.stats.scans + 1;
-        if s.Sched.stats.scans > budget then fail "simulation did not converge";
-        ignore (step_pe sim pe);
-        let halted =
-          Faults.enabled sim.faults && Faults.is_halted sim.faults ~x ~y
-        in
-        if (not pe.finished) && not halted then begin
-          match pe.waiting with
-          | Some w -> (
-              match missing_senders sim pe w with
-              | (sx, sy) :: _ ->
-                  trace_instant sim pe ~cat:"sched" ~name:"park" pe.clock;
-                  Sched.park s (w.w_cfg.apply_id, w.w_seq, sx, sy) (x, y)
-              | [] ->
-                  (* all senders landed between the readiness check and
-                     here; cannot normally happen, but never strand it *)
-                  Sched.enqueue s (x, y))
-          | None ->
-              (* no pending exchange: runnable iff tasks remain (step_pe
-                 drains them, so this is defensive); otherwise the PE is
-                 terminally idle and is diagnosed at the end *)
-              if pe.task_queue <> [] then Sched.enqueue s (x, y)
-        end;
-        loop ()
+    let idx = Sched.pop s in
+    if idx >= 0 then begin
+      let x = idx mod width and y = idx / width in
+      let pe = sim.pes.(x).(y) in
+      s.Sched.stats.scans <- s.Sched.stats.scans + 1;
+      charge_scan s budget;
+      ignore (step_pe sim pe);
+      let halted =
+        Faults.enabled sim.faults && Faults.is_halted sim.faults ~x ~y
+      in
+      if (not pe.finished) && not halted then begin
+        match pe.waiting with
+        | Some w -> (
+            match missing_senders sim pe w with
+            | (sx, sy) :: _ ->
+                trace_instant sim pe ~cat:"sched" ~name:"park" pe.clock;
+                Sched.park s (w.w_cfg.apply_id, w.w_seq, sx, sy) idx
+            | [] ->
+                (* all senders landed between the readiness check and
+                   here; cannot normally happen, but never strand it *)
+                Sched.enqueue s x y)
+        | None ->
+            (* no pending exchange: runnable iff tasks remain (step_pe
+               drains them, so this is defensive); otherwise the PE is
+               terminally idle and is diagnosed at the end *)
+            if pe.task_queue <> [] then Sched.enqueue s x y
+      end;
+      loop ()
+    end
   in
   loop ()
 
@@ -1450,9 +1497,9 @@ let drain_ready ~(budget : int) (sim : t) : unit =
 let run_event ~(max_rounds : int) (sim : t) : unit =
   (* same divergence guard as the polling driver: it allowed up to
      [max_rounds] whole-grid rescans *)
-  let budget = max_rounds * sim.width * sim.height in
+  let budget = Atomic.make (max_rounds * sim.width * sim.height) in
   Array.iter
-    (fun col -> Array.iter (fun pe -> Sched.enqueue sim.sched (pe.px, pe.py)) col)
+    (fun col -> Array.iter (fun pe -> Sched.enqueue sim.sched pe.px pe.py) col)
     sim.pes;
   let rec drive () =
     drain_ready ~budget sim;
@@ -1464,34 +1511,48 @@ let run_event ~(max_rounds : int) (sim : t) : unit =
   in
   drive ()
 
-(** {2 Parallel driver (conservative bulk-synchronous PDES)}
+(** {2 Parallel driver (conservative PDES on a persistent worker pool)}
 
-    The grid is cut into contiguous vertical strips, one per domain;
-    each strip runs {!drain_ready} on its own [Domain.t] over a private
-    view of the simulator — its own send table, scheduler and trace
-    collector, while PE state is only ever touched by the strip that
-    owns the PE.  Strips synchronize conservatively in bulk-synchronous
-    rounds: a send registered within [reach] columns of a strip edge is
-    also appended to that edge's outbox (single-writer during the
-    round, so no locks; ownership transfers at the barrier), and after
-    every domain joins, the coordinator routes each outbox entry into
-    the send table of every strip the sender can reach and wakes the
-    receivers parked on its key.  [reach] — the lookahead — is the
-    maximum swap depth any communicate config uses, i.e. the farthest a
-    wavelet travels in one exchange, so no strip can ever need a send
-    that has not yet crossed a barrier.
+    The grid is cut into contiguous vertical strips, one per worker
+    domain; each strip runs {!drain_ready} over a private view of the
+    simulator — its own send table, scheduler and trace collector, while
+    PE state is only ever touched by the strip that owns the PE.
+
+    Workers are {e persistent}: [run_parallel] spawns exactly [n]
+    domains once, parks them on a Mutex/Condition barrier, and releases
+    them per round — each strip's scheduler, inbox and trace collector
+    stay domain-resident for the whole run, and no spawn/join cost is
+    paid per round.  (PR 5 spawned and joined every strip every round,
+    thousands of times per run, which swamped the strip work; the
+    spawn-counter regression test pins the new behaviour.)
+
+    Cross-strip sends stream {e during} the round: a send registered
+    within [reach] columns of a strip edge is pushed, by the sending
+    worker, into a mutex-protected inbox of every strip the sender can
+    reach ([reach] — the lookahead — is the maximum swap depth any
+    communicate config uses, i.e. the farthest a wavelet travels in one
+    exchange).  When a strip's ready ring drains, it takes its whole
+    inbox in one lock exchange and batches it into its own send table —
+    delivery is exactly-once by construction, so no per-entry membership
+    probe — and keeps draining if anything woke.  A strip therefore runs
+    as many exchange generations per round as its neighbours can feed
+    it, instead of exactly one per barrier; the barrier only lands when
+    no strip can progress without the coordinator (termination check,
+    resilience degrade) — rounds are few and long rather than
+    per-generation.
 
     Bit-identity with the sequential drivers: arrival times are
     computed from the immutable send record ([sr_chunk_ready] plus hop
     latency), never from when the record became visible, and fault
-    decisions are pure site hashes — so deferring a record's visibility
-    to the next round delays *when* a receiver resumes, not *what* it
-    computes.  Per-PE execution sequences are therefore identical, and
-    so are pe_stats, drained fields and fault reports.  Per-strip trace
-    collectors are folded into the caller's sink in strip order, which
-    makes the merged trace deterministic for a fixed grid and domain
-    count (span sets and timestamps match the sequential drivers;
-    "sched" park/wake instants are driver-specific, as with polling). *)
+    decisions are pure site hashes — so when a record becomes visible
+    (mid-round or at a barrier) shifts *when* a receiver resumes, not
+    *what* it computes.  Per-PE execution sequences are therefore
+    identical, and so are pe_stats, drained fields and fault reports.
+    Per-strip trace collectors are folded into the caller's sink in
+    strip order: span sets and timestamps match the sequential drivers
+    exactly; only the within-strip emission order and the
+    driver-specific "sched" park/wake instants depend on cross-domain
+    timing (as park/wake instants already did versus polling). *)
 
 (** Farthest hop distance any communicate config of the program reaches:
     the lookahead of the round barrier. *)
@@ -1515,16 +1576,37 @@ let max_swap_depth (sim : t) : int =
            acc cfg.inputs)
        1
 
+(* Test-visible count of worker domains ever spawned by [run_parallel]:
+   the regression test asserts one run raises it by exactly the domain
+   count, however many rounds the run takes. *)
+let spawn_counter : int Atomic.t = Atomic.make 0
+
+let domains_spawned () : int = Atomic.get spawn_counter
+
+(** Worker domains a driver actually uses on a [width]-column grid: the
+    sequential drivers use none, and [Parallel n] clamps to at least one
+    strip and at most one strip per column.  This is the clamp
+    [run_parallel] itself applies, so JSON summaries and bench artifacts
+    that report it stay truthful even for requests the CLI expanded
+    ([--domains 0]) or that exceed the grid ([n > width]). *)
+let effective_domains (d : driver) ~(width : int) : int =
+  match d with
+  | Polling | Event_driven -> 0
+  | Parallel n -> max 1 (min n width)
+
 type tile = {
   t_sim : t;  (** private view: own sends / sched / trace, shared PEs *)
   t_x0 : int;
   t_x1 : int;
-  t_out_left : (Sched.key * send_record) list ref;  (** west-edge mailbox *)
-  t_out_right : (Sched.key * send_record) list ref;  (** east-edge mailbox *)
+  t_inbox_lock : Mutex.t;
+  mutable t_inbox : (Sched.key * send_record) list;
+      (** cross-strip sends posted by neighbouring workers mid-round,
+          newest first; the owning strip takes the whole list in one
+          lock exchange whenever its ready ring drains *)
 }
 
 let run_parallel ~(max_rounds : int) ~(domains : int) (sim : t) : unit =
-  let n = max 1 (min domains sim.width) in
+  let n = effective_domains (Parallel domains) ~width:sim.width in
   if n = 1 then begin
     launch sim;
     run_event ~max_rounds sim
@@ -1534,12 +1616,6 @@ let run_parallel ~(max_rounds : int) ~(domains : int) (sim : t) : unit =
     let tiles =
       Array.init n (fun i ->
           let x0 = i * sim.width / n and x1 = (((i + 1) * sim.width) / n) - 1 in
-          let t_out_left = ref [] and t_out_right = ref [] in
-          let export ((_, _, sx, _) as k : Sched.key) (r : send_record) : unit =
-            if sx - x0 < reach && x0 > 0 then t_out_left := (k, r) :: !t_out_left;
-            if x1 - sx < reach && x1 < sim.width - 1 then
-              t_out_right := (k, r) :: !t_out_right
-          in
           let t_sim =
             {
               sim with
@@ -1548,88 +1624,182 @@ let run_parallel ~(max_rounds : int) ~(domains : int) (sim : t) : unit =
               trace =
                 (if Trace.enabled sim.trace then Trace.collector ()
                  else Trace.null);
-              on_send = Some export;
+              on_send = None;
             }
           in
-          { t_sim; t_x0 = x0; t_x1 = x1; t_out_left; t_out_right })
+          {
+            t_sim;
+            t_x0 = x0;
+            t_x1 = x1;
+            t_inbox_lock = Mutex.create ();
+            t_inbox = [];
+          })
     in
-    (* per-strip divergence guard: the same whole-grid budget as the
-       sequential drivers *)
-    let budget = max_rounds * sim.width * sim.height in
+    (* wire the send hooks second — each needs the finished [tiles]
+       array: a boundary send is pushed straight into the inbox of every
+       strip within lookahead reach, so receivers can consume it in the
+       same round instead of waiting for a barrier *)
+    Array.iteri
+      (fun i tl ->
+        let x0 = tl.t_x0 and x1 = tl.t_x1 in
+        let post j entry =
+          let dst = tiles.(j) in
+          Mutex.lock dst.t_inbox_lock;
+          dst.t_inbox <- entry :: dst.t_inbox;
+          Mutex.unlock dst.t_inbox_lock
+        in
+        let export ((_, _, sx, _) as k : Sched.key) (r : send_record) : unit =
+          let entry = (k, r) in
+          if x1 - sx < reach then begin
+            let j = ref (i + 1) in
+            while !j < n && tiles.(!j).t_x0 - sx <= reach do
+              post !j entry;
+              incr j
+            done
+          end;
+          if sx - x0 < reach then begin
+            let j = ref (i - 1) in
+            while !j >= 0 && sx - tiles.(!j).t_x1 <= reach do
+              post !j entry;
+              decr j
+            done
+          end
+        in
+        tl.t_sim.on_send <- Some export)
+      tiles;
+    (* one shared divergence budget for the whole run: non-convergence
+       fails at the same whole-grid bound as the sequential drivers,
+       instead of each strip separately enjoying the full allowance *)
+    let budget = Atomic.make (max_rounds * sim.width * sim.height) in
+    (* take the strip's inbox in one lock exchange and batch it into its
+       send table.  Delivery is exactly-once by construction (a sender
+       posts a record to each reachable strip exactly once, and the
+       left/right sweeps cover disjoint strips), so there is no
+       per-entry membership probe.  Returns whether any parked PE woke. *)
+    let drain_inbox (tl : tile) : bool =
+      Mutex.lock tl.t_inbox_lock;
+      let batch = tl.t_inbox in
+      tl.t_inbox <- [];
+      Mutex.unlock tl.t_inbox_lock;
+      let woke = ref false in
+      List.iter
+        (fun (k, r) ->
+          Hashtbl.replace tl.t_sim.sends k r;
+          if Sched.notify tl.t_sim.sched k <> [] then woke := true)
+        batch;
+      !woke
+    in
+    (* a round runs as many exchange generations as neighbours can feed
+       this strip: drain the ready ring, absorb whatever landed in the
+       inbox meanwhile, and go again until neither side has work.  The
+       barrier only lands when no strip can progress on its own. *)
     let tile_round (tl : tile) ~(first : bool) : unit =
       if first then begin
         launch_cols tl.t_sim tl.t_x0 tl.t_x1;
         for x = tl.t_x0 to tl.t_x1 do
           for y = 0 to sim.height - 1 do
-            Sched.enqueue tl.t_sim.sched (x, y)
+            Sched.enqueue tl.t_sim.sched x y
           done
         done
       end;
-      drain_ready ~budget tl.t_sim
+      let continue_ = ref true in
+      while !continue_ do
+        drain_ready ~budget tl.t_sim;
+        continue_ := drain_inbox tl
+      done
     in
-    let round ~(first : bool) : unit =
-      let doms =
-        Array.map
-          (fun tl ->
-            Domain.spawn (fun () ->
-                match tile_round tl ~first with
-                | () -> Ok ()
-                | exception e -> Error e))
-          tiles
-      in
-      (* join every domain before re-raising, lowest strip first, so a
-         failure is reported deterministically and no domain leaks *)
-      let err = ref None in
-      Array.iter
-        (fun d ->
-          match Domain.join d with
-          | Ok () -> ()
-          | Error e -> if !err = None then err := Some e)
-        doms;
-      match !err with Some e -> raise e | None -> ()
-    in
-    (* barrier bookkeeping: deliver each mailbox entry to every strip
-       within lookahead reach of the sender's column and wake receivers
-       parked on its key (main thread only; no domain is running) *)
-    let route () : unit =
-      let deliver j ((k : Sched.key), r) =
-        let dst = tiles.(j).t_sim in
-        if not (Hashtbl.mem dst.sends k) then begin
-          Hashtbl.replace dst.sends k r;
-          ignore (Sched.notify dst.sched k)
+    (* persistent worker pool: [n] domains spawned once for the whole
+       run and parked on a Mutex/Condition barrier between rounds — a
+       round is released by bumping [epoch] and is over when every
+       worker has checked back in.  Strip state (scheduler, inbox,
+       trace collector) stays domain-resident; nothing is spawned or
+       joined per round. *)
+    let pool_lock = Mutex.create () in
+    let work_ready = Condition.create () in
+    let round_done = Condition.create () in
+    let epoch = ref 0 in
+    let running = ref 0 in
+    let stop = ref false in
+    let failures : exn option array = Array.make n None in
+    let worker i () =
+      let tl = tiles.(i) in
+      let seen = ref 0 in
+      let live = ref true in
+      while !live do
+        Mutex.lock pool_lock;
+        while !epoch = !seen && not !stop do
+          Condition.wait work_ready pool_lock
+        done;
+        if !stop then begin
+          Mutex.unlock pool_lock;
+          live := false
         end
-      in
-      Array.iteri
-        (fun i tl ->
-          List.iter
-            (fun (((_, _, sx, _), _) as entry) ->
-              let j = ref (i + 1) in
-              while !j < n && tiles.(!j).t_x0 - sx <= reach do
-                deliver !j entry;
-                incr j
-              done)
-            (List.rev !(tl.t_out_right));
-          tl.t_out_right := [];
-          List.iter
-            (fun (((_, _, sx, _), _) as entry) ->
-              let j = ref (i - 1) in
-              while !j >= 0 && sx - tiles.(!j).t_x1 <= reach do
-                deliver !j entry;
-                decr j
-              done)
-            (List.rev !(tl.t_out_left));
-          tl.t_out_left := [])
-        tiles
+        else begin
+          seen := !epoch;
+          Mutex.unlock pool_lock;
+          (try tile_round tl ~first:(!seen = 1)
+           with e -> failures.(i) <- Some e);
+          Mutex.lock pool_lock;
+          decr running;
+          if !running = 0 then Condition.signal round_done;
+          Mutex.unlock pool_lock
+        end
+      done
+    in
+    let pool =
+      Array.init n (fun i ->
+          Atomic.incr spawn_counter;
+          Domain.spawn (worker i))
+    in
+    let shutdown () =
+      Mutex.lock pool_lock;
+      stop := true;
+      Condition.broadcast work_ready;
+      Mutex.unlock pool_lock;
+      Array.iter Domain.join pool
+    in
+    (* release one round and wait for the barrier; worker failures are
+       re-raised lowest strip first, deterministically *)
+    let round () : unit =
+      Mutex.lock pool_lock;
+      running := n;
+      incr epoch;
+      Condition.broadcast work_ready;
+      while !running > 0 do
+        Condition.wait round_done pool_lock
+      done;
+      Mutex.unlock pool_lock;
+      Array.iter (function Some e -> raise e | None -> ()) failures
     in
     let pending () =
       Array.exists
-        (fun tl -> not (Queue.is_empty tl.t_sim.sched.Sched.ready))
+        (fun tl ->
+          (not (Sched.is_empty tl.t_sim.sched))
+          ||
+          (Mutex.lock tl.t_inbox_lock;
+           let nonempty = tl.t_inbox <> [] in
+           Mutex.unlock tl.t_inbox_lock;
+           nonempty))
         tiles
     in
-    let rec rounds ~first : unit =
-      round ~first;
-      route ();
-      if pending () then rounds ~first:false
+    (* driver-level profiling: one counter sample per barrier under
+       [Trace.driver_pid], timestamped by round number and sampled with
+       every worker parked *)
+    let round_idx = ref 0 in
+    let trace_round () =
+      if Trace.enabled sim.trace then begin
+        let ready = ref 0 in
+        Array.iter (fun tl -> ready := !ready + tl.t_sim.sched.Sched.count) tiles;
+        Trace.counter sim.trace ~pid:Trace.driver_pid ~tid:0 ~name:"round"
+          ~values:[ ("ready_backlog", float_of_int !ready) ]
+          (float_of_int !round_idx)
+      end
+    in
+    let rec rounds () : unit =
+      round ();
+      incr round_idx;
+      trace_round ();
+      if pending () then rounds ()
     in
     (* global diagnostics (all_done / degrade / deadlock_report) run on
        the caller's view, which needs every strip's sends *)
@@ -1646,13 +1816,19 @@ let run_parallel ~(max_rounds : int) ~(domains : int) (sim : t) : unit =
       merge_sends ();
       if not (all_done sim) then
         if degrade ~notify:notify_tiles sim then begin
-          rounds ~first:false;
+          rounds ();
           finish ()
         end
         else raise (Sim_error (deadlock_report sim))
     in
-    rounds ~first:true;
-    finish ();
+    Fun.protect ~finally:shutdown (fun () ->
+        if Trace.enabled sim.trace then begin
+          Trace.name_process sim.trace ~pid:Trace.driver_pid "driver";
+          Trace.name_track sim.trace ~pid:Trace.driver_pid ~tid:0
+            "parallel rounds"
+        end;
+        rounds ();
+        finish ());
     (* fold per-strip observations into the caller's view: traces merged
        in strip order (deterministic), scheduler counters summed *)
     if Trace.enabled sim.trace then

@@ -48,8 +48,10 @@ val stats_equal : pe_stats -> pe_stats -> bool
 (** Event-driven scheduler: a ready queue of runnable PEs plus per-send
     wake lists, so a PE blocked on a neighbour exchange is woken exactly
     when the matching send registers instead of being re-polled every
-    round.  Ready-queue membership is a flat [Bytes.t] bitset indexed
-    [y * width + x] — no per-step hashing of coordinate pairs.
+    round.  The ready queue is a flat int ring buffer of PE indices
+    [y * width + x] — no box per element, nothing allocated on the
+    enqueue/pop hot path — and membership is a flat [Bytes.t] bitset
+    over the same index, so nothing hashes a coordinate pair per step.
     Counters feed the [sched] microbenchmark. *)
 module Sched : sig
   (** A pending send: (apply_id, seq, sender x, sender y). *)
@@ -113,9 +115,9 @@ type t = {
           is a dead branch, exactly like the trace sink *)
   mutable on_send : (Sched.key -> send_record -> unit) option;
       (** observation hook run by the send-registration path right after
-          a record is stored: the parallel driver exports boundary sends
-          to its per-edge mailboxes through it.  [None] (the sequential
-          drivers) costs one branch per send. *)
+          a record is stored: the parallel driver streams boundary sends
+          into neighbouring strips' inboxes through it.  [None] (the
+          sequential drivers) costs one branch per send. *)
 }
 
 and send_record
@@ -155,12 +157,13 @@ val run_tasks : t -> pe -> bool
     driver (rescan every PE each round); [Event_driven] (the default) is
     the ready-queue/wake-list scheduler; [Parallel n] cuts the grid into
     [n] contiguous vertical strips, each driven by the event scheduler
-    on its own [Domain.t], synchronizing conservatively at a
-    bulk-synchronous round barrier whose lookahead is the program's
-    maximum exchange hop distance.  Elapsed cycles, per-PE statistics,
-    drained fields and fault reports are bit-identical across all three
-    — a PE's behaviour depends only on its own state and on immutable
-    send records, whose arrival times are computed from record contents
+    on a worker [Domain.t] from a pool spawned once per run, with
+    boundary sends streamed into neighbouring strips' inboxes mid-round
+    and a reusable barrier whose lookahead is the program's maximum
+    exchange hop distance.  Elapsed cycles, per-PE statistics, drained
+    fields and fault reports are bit-identical across all three — a
+    PE's behaviour depends only on its own state and on immutable send
+    records, whose arrival times are computed from record contents
     rather than from when the driver made them visible.  [Parallel n]
     with [n <= 1] (or a one-column grid) falls back to [Event_driven]. *)
 type driver = Polling | Event_driven | Parallel of int
@@ -171,6 +174,17 @@ val driver_name : driver -> string
 
 (** Domain count a driver asks for (0 for the sequential drivers). *)
 val driver_domains : driver -> int
+
+(** Worker domains the driver actually uses on a [width]-column grid —
+    the clamp [Parallel] applies internally ([max 1 (min n width)]; 0
+    for the sequential drivers).  Report this, not the requested count,
+    in summaries and bench artifacts. *)
+val effective_domains : driver -> width:int -> int
+
+(** Total worker domains spawned by parallel runs since program start.
+    Test hook: the delta across one run must equal the effective domain
+    count — the pool is spawned once, never per round. *)
+val domains_spawned : unit -> int
 
 (** Start the program on every PE and drive the dependency-directed
     scheduler until every PE has unblocked the command stream.

@@ -379,6 +379,57 @@ let test_fault_replay_parallel () =
       check (name ^ ": fault counters identical") true (k = ke))
     [ Fabric.Polling; Fabric.Parallel 2; Fabric.Parallel 4 ]
 
+(* regression for the PR 5 slowdown: the parallel driver must spawn its
+   worker pool exactly once per run — [domains] domains total, however
+   many barrier rounds the run takes — not once per strip per round *)
+let test_worker_pool_spawns_once () =
+  let p = (B.find "jacobian").make_n B.Tiny 6 in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  List.iter
+    (fun domains ->
+      let before = Fabric.domains_spawned () in
+      let h =
+        Host.simulate ~driver:(Fabric.Parallel domains) Machine.wse3 compiled
+          (init_grids p)
+      in
+      ignore h;
+      let spawned = Fabric.domains_spawned () - before in
+      (* Parallel 1 falls back to the sequential event driver: no pool *)
+      let expected = if domains <= 1 then 0 else domains in
+      if spawned <> expected then
+        Alcotest.failf "Parallel %d spawned %d domains, expected %d" domains
+          spawned expected)
+    [ 1; 2; 4 ]
+
+(* qcheck: when a run exceeds its scan budget, every driver fails with
+   the same divergence error at the same shared whole-grid bound — no
+   strip gets a private allowance of its own *)
+let prop_budget_trips_identically =
+  let p = (B.find "jacobian").make_n B.Tiny 32 in
+  let compiled = Core.Pipeline.compile (P.compile p) in
+  let _, program = Core.Pipeline.modules_of compiled in
+  QCheck.Test.make ~name:"shared scan budget trips identically across drivers"
+    ~count:3
+    QCheck.(int_range 1 3)
+    (fun max_rounds ->
+      let outcome driver =
+        let h = Host.load Machine.wse3 program (init_grids p) in
+        match Fabric.run_to_completion ~max_rounds ~driver h.Host.sim with
+        | () -> QCheck.Test.fail_report "expected the budget to trip"
+        | exception Fabric.Sim_error msg -> msg
+      in
+      let reference = outcome Fabric.Event_driven in
+      if not (contains reference "did not converge") then
+        QCheck.Test.fail_reportf "unexpected error: %s" reference;
+      List.iter
+        (fun driver ->
+          let msg = outcome driver in
+          if msg <> reference then
+            QCheck.Test.fail_reportf "%s: %S <> %S" (driver_label driver) msg
+              reference)
+        [ Fabric.Polling; Fabric.Parallel 2; Fabric.Parallel 4 ];
+      true)
+
 let test_task_order_earliest_first () =
   (* regression for the dispatch-order bug: the hardware scheduler runs
      the queued task with the earliest activation time, not the one that
@@ -471,9 +522,12 @@ let () =
         :: Alcotest.test_case "deadlock diagnostic" `Quick test_deadlock_diagnostic
         :: Alcotest.test_case "fault replay across drivers" `Quick
              test_fault_replay_parallel
+        :: Alcotest.test_case "worker pool spawns once" `Quick
+             test_worker_pool_spawns_once
         :: Alcotest.test_case "earliest activation first" `Quick
              test_task_order_earliest_first
-        :: List.map QCheck_alcotest.to_alcotest [ prop_drivers_agree_on_fuzzed ] );
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_drivers_agree_on_fuzzed; prop_budget_trips_identically ] );
       ( "host",
         [ Alcotest.test_case "custom initial data" `Quick test_custom_initial_data ] );
     ]
