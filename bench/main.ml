@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- one experiment
      experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations weak sched
-                  par perfsmoke trace micro
+                  par serve perfsmoke trace micro
 
    Absolute numbers come from the fabric simulator and the calibrated
    machine models (see DESIGN.md); the claims under reproduction are the
@@ -483,6 +483,167 @@ let perfsmoke () =
   else Printf.printf "PASS: parallel >= 1.0x event on %d cores\n" cores
 
 (* ------------------------------------------------------------------ *)
+(* Compile service: throughput and cache hit-rate (BENCH_PR7.json)     *)
+(* ------------------------------------------------------------------ *)
+
+(** The serve-engine benchmark: a fuzzer corpus (pure in (seed, index),
+    so the stream is reproducible) compiled cold and then warm on the
+    same engine at 1/2/4 worker domains.  Two invariants are enforced,
+    not just measured: every warm response must be a cache hit whose
+    rendered payload is byte-identical to the cold compile of the same
+    source, and warm throughput must beat cold throughput.  The
+    wall-clock speedup across domain counts carries the same
+    oversubscription honesty as the [par] experiment: legs with more
+    domains than cores get no verdict. *)
+let serve_bench () =
+  header
+    "Compile service: cold vs warm throughput over a fuzzer corpus at\n\
+     1/2/4 worker domains; warm responses must be cache hits, byte-\n\
+     identical to the cold compiles, and faster in aggregate";
+  let module S = Wsc_serve in
+  let module J = Wsc_trace.Json in
+  let seed = 42 and unique = 50 and repeats = 25 in
+  let sources =
+    Array.init unique (fun index ->
+        Wsc_harden.Corpus.case_contents ~seed ~index)
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "corpus: %d unique programs (seed %d) + %d repeats; %d core(s) available\n\n"
+    unique seed repeats cores;
+  if cores < 2 then
+    Printf.printf
+      "WARNING: single-core host — multi-domain legs are oversubscribed;\n\
+       their wall-clock ratios measure scheduling overhead, not speedup\n\n";
+  Printf.printf "%-8s %6s %10s %10s %10s %10s %9s %10s\n" "domains" "cores"
+    "cold s" "cold/s" "warm s" "warm/s" "hit-rate" "identical";
+  let failures = ref 0 in
+  let rows = ref [] in
+  List.iter
+    (fun domains ->
+      let engine = S.Engine.create () in
+      (* one stream = one pool lifetime (pool-per-leg, never
+         pool-per-request); responses land in slots so payloads can be
+         compared across streams by corpus index *)
+      let run_stream (idxs : int array) : string option array * float =
+        let payloads = Array.make (Array.length idxs) None in
+        let pool =
+          S.Pool.create ~domains (fun _wi (slot, src) ->
+              let r = S.Engine.compile_source engine src in
+              payloads.(slot) <-
+                S.Protocol.response_payload
+                  (S.Protocol.compile_response ~id:slot r))
+        in
+        let (), wall_s =
+          wall (fun () ->
+              Array.iteri
+                (fun slot i -> ignore (S.Pool.submit pool (slot, sources.(i))))
+                idxs;
+              S.Pool.drain pool)
+        in
+        S.Pool.shutdown pool;
+        (* every request must have produced an ok payload (the fuzzer
+           only emits well-formed programs) *)
+        Array.iteri
+          (fun slot x ->
+            if x = None then begin
+              incr failures;
+              Printf.printf "  FAIL: request %d produced no ok payload\n" slot
+            end)
+          payloads;
+        (payloads, wall_s)
+      in
+      let cold_idxs = Array.init unique (fun i -> i) in
+      let warm_idxs =
+        Array.init (unique + repeats) (fun i ->
+            if i < unique then i else (i - unique) mod unique)
+      in
+      let cold, cold_s = run_stream cold_idxs in
+      let stats_after_cold = S.Engine.cache_stats engine in
+      let warm, warm_s = run_stream warm_idxs in
+      let stats = S.Engine.cache_stats engine in
+      let warm_hits = stats.S.Cache.hits - stats_after_cold.S.Cache.hits in
+      let identical =
+        Array.for_all
+          (fun ok -> ok)
+          (Array.mapi
+             (fun slot i ->
+               match (warm.(slot), cold.(i)) with
+               | Some w, Some c -> w = c
+               | _ -> false)
+             warm_idxs)
+      in
+      let all_warm_hit = warm_hits = Array.length warm_idxs in
+      let cold_per_s = float_of_int unique /. cold_s in
+      let warm_per_s = float_of_int (Array.length warm_idxs) /. warm_s in
+      if not identical then begin
+        incr failures;
+        Printf.printf
+          "  FAIL: warm payloads not byte-identical to cold (domains=%d)\n"
+          domains
+      end;
+      if not all_warm_hit then begin
+        incr failures;
+        Printf.printf "  FAIL: only %d/%d warm requests hit the cache\n"
+          warm_hits (Array.length warm_idxs)
+      end;
+      if warm_per_s <= cold_per_s then begin
+        incr failures;
+        Printf.printf
+          "  FAIL: warm throughput (%.1f/s) did not beat cold (%.1f/s)\n"
+          warm_per_s cold_per_s
+      end;
+      Printf.printf "%-8d %6d %10.3f %10.1f %10.3f %10.1f %8.1f%% %10s\n"
+        domains cores cold_s cold_per_s warm_s warm_per_s
+        (100.0 *. S.Cache.hit_rate stats)
+        (if identical && all_warm_hit then "yes" else "NO");
+      rows :=
+        J.Obj
+          [
+            ("domains", J.Int domains);
+            ("cores", J.Int cores);
+            ("oversubscribed", J.Bool (domains > cores));
+            ("cold_wall_s", J.Float cold_s);
+            ("cold_compiles_per_s", J.Float cold_per_s);
+            ("warm_wall_s", J.Float warm_s);
+            ("warm_compiles_per_s", J.Float warm_per_s);
+            ("warm_over_cold", J.Float (warm_per_s /. cold_per_s));
+            ("speedup_meaningful", J.Bool (domains <= cores));
+            ("hits", J.Int stats.S.Cache.hits);
+            ("misses", J.Int stats.S.Cache.misses);
+            ("evictions", J.Int stats.S.Cache.evictions);
+            ("hit_rate", J.Float (S.Cache.hit_rate stats));
+            ("all_warm_hits", J.Bool all_warm_hit);
+            ("byte_identical", J.Bool identical);
+          ]
+        :: !rows)
+    [ 1; 2; 4 ];
+  let doc =
+    J.summary ~tool:"bench-serve"
+      ~config:
+        [
+          ("seed", J.Int seed);
+          ("unique_programs", J.Int unique);
+          ("repeats", J.Int repeats);
+          ("cores", J.Int cores);
+        ]
+      ~results:(List.rev !rows)
+  in
+  let oc = open_out "BENCH_PR7.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_PR7.json\n";
+  if !failures = 0 then
+    Printf.printf
+      "all legs: warm responses are cache hits, byte-identical to cold, \
+       and faster\n"
+  else begin
+    Printf.printf "FAILED %d check(s)\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Tracing: collector overhead + simulated-vs-analytic deviation       *)
 (* ------------------------------------------------------------------ *)
 
@@ -663,6 +824,7 @@ let experiments =
     ("weak", weak);
     ("sched", sched);
     ("par", par);
+    ("serve", serve_bench);
     ("perfsmoke", perfsmoke);
     ("trace", trace_exp);
     ("micro", micro);

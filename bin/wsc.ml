@@ -10,8 +10,12 @@
     - [perf]: report simulated throughput for a benchmark/machine/size;
     - [ir]: print the IR after a chosen pipeline stage;
     - [fuzz]: run a seeded differential-testing campaign (random
-      programs, three cross-checked executions, crash artifacts);
-    - [reduce]: shrink a crash artifact to a minimal reproducer. *)
+      programs, three cross-checked executions, crash artifacts), or
+      emit the generated cases as a corpus of [.mlir] files;
+    - [reduce]: shrink a crash artifact to a minimal reproducer;
+    - [serve]: long-running compile service (JSON-lines over stdio or a
+      Unix socket, persistent worker domains, content-addressed cache);
+    - [batch]: run the serve engine over a manifest of IR files. *)
 
 open Cmdliner
 module B = Wsc_benchmarks.Benchmarks
@@ -537,8 +541,27 @@ let fuzz_json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Also write the campaign summary as JSON.")
 
+let emit_corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-corpus" ] ~docv:"DIR"
+        ~doc:
+          "Instead of running the differential oracle, write the generated \
+           cases to DIR as standalone .mlir files (fuzz-s<seed>-c<i>.mlir).  \
+           Emission is a pure function of (--seed, --count): the same seed \
+           always writes byte-identical files.")
+
 let fuzz_cmd =
-  let run count seed machine crash_dir inject_bug reduce_budget json_out =
+  let run count seed machine crash_dir inject_bug reduce_budget json_out
+      emit_corpus =
+    match emit_corpus with
+    | Some dir ->
+        let paths = H.Corpus.emit ~dir ~seed ~count in
+        Printf.printf "emitted %d corpus file(s) (seed %d) into %s\n"
+          (List.length paths) seed dir;
+        Ok ()
+    | None ->
     let cfg =
       {
         H.Campaign.seed;
@@ -570,11 +593,12 @@ let fuzz_cmd =
          "Generate seeded random stencil programs and cross-check three \
           executions of each (reference interpreter, mid-level interpretation, \
           fabric simulation) plus a print/parse fixpoint at every pass \
-          boundary; failing cases are reduced and dumped as crash artifacts.")
+          boundary; failing cases are reduced and dumped as crash artifacts.  \
+          With $(b,--emit-corpus), just write the cases as .mlir files.")
     Term.(
       term_result
         (const run $ fuzz_count_arg $ fuzz_seed_arg $ machine_arg $ crash_dir_arg
-       $ inject_bug_arg $ reduce_budget_arg $ fuzz_json_arg))
+       $ inject_bug_arg $ reduce_budget_arg $ fuzz_json_arg $ emit_corpus_arg))
 
 let crash_arg =
   Arg.(
@@ -667,6 +691,173 @@ let reduce_cmd =
       term_result
         (const run $ crash_arg $ machine_arg $ reduce_budget_arg $ fuzz_json_arg))
 
+(* ---------------- serve / batch ---------------- *)
+
+module Serve = Wsc_serve
+
+let serve_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains in the persistent compile pool (spawned once, \
+           never per request).")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int Serve.Engine.default_capacity
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Compile-cache capacity in entries (LRU eviction past it).")
+
+let serve_timeout_arg =
+  Arg.(
+    value & opt float Serve.Engine.default_timeout_s
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request compile deadline; a request's own \
+           $(b,timeout_s) field overrides it.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at PATH instead of stdio \
+           (concurrent clients are multiplexed; the socket file is removed \
+           on shutdown).")
+
+let serve_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace of every request's phases (queue wait, \
+           parse, per-pass compile, emit; one track per worker) at shutdown.")
+
+let serve_cmd =
+  let run domains capacity timeout socket trace_path =
+    Serve.Server.install_signal_handlers ();
+    let cfg =
+      {
+        Serve.Server.domains;
+        capacity;
+        timeout_s = timeout;
+        options = pipeline_options;
+        transport =
+          (match socket with
+          | Some path -> Serve.Server.Unix_socket path
+          | None -> Serve.Server.Stdio);
+        trace_path;
+      }
+    in
+    ignore (Serve.Server.run cfg);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running compile service: JSON-lines requests on stdin (or \
+          $(b,--socket)), one JSON-lines response per request, compiles \
+          fanned out across a persistent pool of worker domains with a \
+          content-addressed LRU cache in front.  SIGINT/SIGTERM, a \
+          $(b,shutdown) request or EOF all drain in-flight work and exit 0.")
+    Term.(
+      term_result
+        (const run $ serve_domains_arg $ cache_capacity_arg $ serve_timeout_arg
+       $ socket_arg $ serve_trace_arg))
+
+let manifest_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"MANIFEST"
+        ~doc:
+          "Manifest file: one .mlir path per line (relative to the \
+           manifest), # comments allowed.")
+
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:
+          "Submit the whole manifest N times; repeats hit the compile cache.")
+
+let batch_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the batch report as JSON.")
+
+let dump_requests_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-requests" ]
+        ~doc:
+          "Instead of compiling, print each manifest entry as a serve-protocol \
+           compile request line on stdout — pipe into $(b,wsc serve).")
+
+let batch_cmd =
+  let run manifest domains capacity timeout repeat json_out dump trace_path =
+    let paths = Serve.Batch.manifest_paths manifest in
+    if dump then begin
+      Serve.Batch.dump_requests stdout paths;
+      Ok ()
+    end
+    else begin
+      Serve.Server.install_signal_handlers ();
+      let cfg =
+        {
+          Serve.Batch.domains;
+          capacity;
+          timeout_s = timeout;
+          options = pipeline_options;
+          repeat;
+          trace_path;
+        }
+      in
+      let r = Serve.Batch.run cfg paths in
+      let s = r.Serve.Batch.rp_cache in
+      Printf.printf
+        "batch: %d file(s), %d ok, %d error(s), %d cancelled in %.2f s\n"
+        r.Serve.Batch.rp_total r.Serve.Batch.rp_ok r.Serve.Batch.rp_errors
+        r.Serve.Batch.rp_cancelled r.Serve.Batch.rp_wall_s;
+      Printf.printf
+        "  cache: %d hit / %d miss / %d evicted (hit-rate %.1f%%, %d/%d \
+         entries)\n"
+        s.Serve.Cache.hits s.Serve.Cache.misses s.Serve.Cache.evictions
+        (100.0 *. Serve.Cache.hit_rate s)
+        s.Serve.Cache.entries s.Serve.Cache.capacity;
+      List.iter
+        (fun (e : Serve.Batch.entry) ->
+          if e.Serve.Batch.en_status <> "ok" then
+            Printf.printf "  %s (round %d): %s%s\n" e.Serve.Batch.en_path
+              e.Serve.Batch.en_round e.Serve.Batch.en_status
+              (match e.Serve.Batch.en_message with
+              | Some m -> ": " ^ m
+              | None -> ""))
+        r.Serve.Batch.rp_entries;
+      (match json_out with
+      | Some path -> write_json path (Serve.Batch.report_to_json cfg r)
+      | None -> ());
+      if r.Serve.Batch.rp_errors > 0 then exit 1;
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Compile every file in a manifest through the serve engine \
+          (persistent worker pool + compile cache) and report per-file \
+          outcomes; $(b,--repeat) demonstrates cache hits, \
+          $(b,--dump-requests) renders the manifest as serve protocol lines.")
+    Term.(
+      term_result
+        (const run $ manifest_arg $ serve_domains_arg $ cache_capacity_arg
+       $ serve_timeout_arg $ repeat_arg $ batch_json_arg $ dump_requests_arg
+       $ serve_trace_arg))
+
 (* ---------------- perf ---------------- *)
 
 let perf_cmd =
@@ -743,6 +934,8 @@ let () =
              faults_cmd;
              fuzz_cmd;
              reduce_cmd;
+             serve_cmd;
+             batch_cmd;
              perf_cmd;
              ir_cmd;
            ])

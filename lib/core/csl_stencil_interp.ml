@@ -188,8 +188,17 @@ let handler : I.handler =
 let prefetch_handler : I.handler =
  fun ctx op _ -> [ I.lookup ctx.env (operand op 0) ]
 
+(* [register] is called from [Pipeline.compile] on every compilation;
+   under the concurrent compile service that means several domains at
+   once, and [Interp.register_handler] mutates a shared Hashtbl.  The
+   once-guard makes every call after the first (taken here, at module
+   initialization on the main domain) a pure read of the flag. *)
+let registered = Atomic.make false
+
 let register () =
-  I.register_handler "csl_stencil.apply" handler;
-  I.register_handler "csl_stencil.prefetch" prefetch_handler
+  if not (Atomic.exchange registered true) then begin
+    I.register_handler "csl_stencil.apply" handler;
+    I.register_handler "csl_stencil.prefetch" prefetch_handler
+  end
 
 let () = register ()

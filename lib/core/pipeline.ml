@@ -32,6 +32,34 @@ let default_options =
     program_name = "stencil_program";
   }
 
+(** Canonical, total rendering of the options — the configuration half
+    of the compile service's content-addressed cache key.  Every field
+    appears (adding a field to [options] without extending this is a
+    type error via the record pattern), so two option values render
+    equally iff they compile identically. *)
+let options_to_string (o : options) : string =
+  let {
+    inline_stencils;
+    use_varith;
+    promote_coefficients;
+    one_shot_reduction;
+    fuse_fmac;
+    fuse_fmac_pass;
+    comm_budget_bytes;
+    num_chunks_override;
+    program_name;
+  } =
+    o
+  in
+  Printf.sprintf
+    "inline_stencils=%b;use_varith=%b;promote_coefficients=%b;\
+     one_shot_reduction=%b;fuse_fmac=%b;fuse_fmac_pass=%b;\
+     comm_budget_bytes=%d;num_chunks_override=%s;program_name=%s"
+    inline_stencils use_varith promote_coefficients one_shot_reduction fuse_fmac
+    fuse_fmac_pass comm_budget_bytes
+    (match num_chunks_override with None -> "none" | Some n -> string_of_int n)
+    program_name
+
 (** Group 1 + optimizations: the architecture-independent part, after
     which the module is still executable by the sequential interpreter. *)
 let frontend_passes (o : options) : Wsc_ir.Pass.t list =

@@ -20,6 +20,11 @@ type options = {
 
 val default_options : options
 
+(** Canonical, total rendering — the configuration half of the compile
+    service's cache key.  Covers every field (enforced by a record
+    pattern), so equal strings mean identical compilation behavior. *)
+val options_to_string : options -> string
+
 (** Group 1 + optimizations (module stays interpretable afterwards). *)
 val frontend_passes : options -> Wsc_ir.Pass.t list
 

@@ -33,7 +33,7 @@ let to_json (a : t) : Json.t =
   Json.Obj
     [
       ("tool", Json.String "fuzz-crash");
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int Json.schema_version);
       ("seed", Json.Int a.seed);
       ("index", Json.Int a.index);
       ("inject_bug", Json.Bool a.inject_bug);

@@ -1,0 +1,20 @@
+(** Corpus emission — see the interface. *)
+
+module P = Wsc_frontends.Stencil_program
+
+let filename ~seed ~index = Printf.sprintf "fuzz-s%d-c%d.mlir" seed index
+
+let case_contents ~seed ~index =
+  let program = Fuzz.generate ~seed ~index in
+  let m = P.compile program in
+  Printf.sprintf "// wsc fuzz corpus: seed %d, case %d — %s\n%s" seed index
+    (Fuzz.describe program)
+    (Wsc_ir.Printer.op_to_string m)
+
+let emit ~dir ~seed ~count =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.init count (fun index ->
+      let path = Filename.concat dir (filename ~seed ~index) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (case_contents ~seed ~index));
+      path)

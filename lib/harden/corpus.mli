@@ -1,0 +1,20 @@
+(** Corpus emission: materialize fuzzer cases as standalone [.mlir]
+    files — [wsc fuzz --emit-corpus DIR].
+
+    Each case is {!Fuzz.generate}d, compiled to stencil-dialect IR and
+    printed; the file is the printed module preceded by a provenance
+    comment stamping the seed and index.  Because the fuzzer is a pure
+    hash of [(seed, index)] and the printer is deterministic, emitting
+    the same seed twice writes byte-identical files — the CI smoke leg
+    and the serve bench both rely on this to build reproducible request
+    streams. *)
+
+(** One emitted file: [fuzz-s<seed>-c<index>.mlir]. *)
+val filename : seed:int -> index:int -> string
+
+(** The file's full contents (provenance comment + printed module). *)
+val case_contents : seed:int -> index:int -> string
+
+(** [emit ~dir ~seed ~count] writes cases [0 .. count-1] into [dir]
+    (created if missing); returns the paths in index order. *)
+val emit : dir:string -> seed:int -> count:int -> string list

@@ -81,34 +81,34 @@ and block = {
 
 and region = { rgid : int; mutable blocks : block list }
 
-let value_counter = ref 0
-let op_counter = ref 0
-let block_counter = ref 0
-let region_counter = ref 0
+(* id wells are atomic so modules can be built/parsed concurrently on
+   several domains (the compile service does exactly that); with plain
+   refs a lost increment can hand two values in one module the same vid,
+   which corrupts substitution maps, the verifier and the printer *)
+let value_counter = Atomic.make 0
+let op_counter = Atomic.make 0
+let block_counter = Atomic.make 0
+let region_counter = Atomic.make 0
 
 let new_value ?hint typ =
-  incr value_counter;
-  { vid = !value_counter; vtyp = typ; vhint = hint }
+  { vid = 1 + Atomic.fetch_and_add value_counter 1; vtyp = typ; vhint = hint }
 
 let new_block ?(args = []) ops =
-  incr block_counter;
-  { bid = !block_counter; bargs = args; bops = ops }
+  { bid = 1 + Atomic.fetch_and_add block_counter 1; bargs = args; bops = ops }
 
 let new_region blocks =
-  incr region_counter;
-  { rgid = !region_counter; blocks }
+  { rgid = 1 + Atomic.fetch_and_add region_counter 1; blocks }
 
 (** Create an operation.  Result values are freshly allocated from the
     given result types. *)
 let create_op ?(operands = []) ?(attrs = []) ?(regions = []) ?(result_hints = [])
     name ~results =
-  incr op_counter;
   let mk i typ =
     let hint = List.nth_opt result_hints i in
     new_value ?hint typ
   in
   {
-    oid = !op_counter;
+    oid = 1 + Atomic.fetch_and_add op_counter 1;
     opname = name;
     operands;
     results = List.mapi mk results;

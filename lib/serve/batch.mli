@@ -1,0 +1,60 @@
+(** One-shot batch driver behind [wsc batch]: run the same engine the
+    server uses over a manifest of [.mlir] files, concurrently across
+    the worker pool, and report per-file outcomes plus cache totals.
+
+    [repeat] resubmits the whole manifest that many times — repeats
+    after the first hit the compile cache, which is how the CI smoke leg
+    and the bench demonstrate a non-zero hit-rate deterministically.
+
+    Honors the shared {!Server.stop_requested} flag: on SIGINT/SIGTERM
+    the queued-but-unstarted jobs are cancelled (reported as
+    ["cancelled"]), in-flight compiles finish, and the report still
+    renders completely — no partial JSON. *)
+
+type config = {
+  domains : int;  (** worker domains (clamped to ≥ 1) *)
+  capacity : int;  (** compile-cache capacity, entries *)
+  timeout_s : float;  (** per-file compile deadline *)
+  options : Wsc_core.Pipeline.options;
+  repeat : int;  (** times to submit the manifest (clamped to ≥ 1) *)
+  trace_path : string option;  (** Chrome trace of every job's spans *)
+}
+
+val default_config : config
+
+(** One job's outcome, in submission order (manifest order, repeats
+    appended). *)
+type entry = {
+  en_path : string;
+  en_round : int;  (** 0-based repeat round *)
+  en_status : string;  (** ["ok"], an {!Engine.error_kind} string,
+                           ["io"] (unreadable file) or ["cancelled"] *)
+  en_cache : string option;  (** ["hit"] / ["miss"] when compiled *)
+  en_key : string option;
+  en_wall_s : float;
+  en_message : string option;  (** error detail *)
+}
+
+type report = {
+  rp_total : int;
+  rp_ok : int;
+  rp_errors : int;
+  rp_cancelled : int;
+  rp_wall_s : float;
+  rp_cache : Cache.stats;
+  rp_entries : entry list;
+}
+
+(** Read a manifest: one path per line, [#] comments and blank lines
+    skipped, relative paths resolved against the manifest's directory. *)
+val manifest_paths : string -> string list
+
+val run : config -> string list -> report
+
+(** The report as the shared summary envelope ([tool = "batch"]). *)
+val report_to_json : config -> report -> Wsc_trace.Json.t
+
+(** Render each file as a serve-protocol compile request line (ids are
+    1-based submission order) — [wsc batch --dump-requests], for piping
+    straight into [wsc serve]. *)
+val dump_requests : out_channel -> string list -> unit

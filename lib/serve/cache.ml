@@ -1,0 +1,123 @@
+(** Content-addressed LRU cache — see the interface.
+
+    Classic doubly-linked recency list over a hash table: [first] is the
+    most recently used entry, [last] the eviction candidate.  All
+    structure mutation happens under [lock]; the list never holds an
+    unlinked node, so eviction is O(1) and bumping is unlink + push. *)
+
+type ('v) node = {
+  n_key : string;
+  mutable n_value : 'v;
+  mutable n_prev : 'v node option;  (** towards [first] (more recent) *)
+  mutable n_next : 'v node option;  (** towards [last] (less recent) *)
+}
+
+type 'v t = {
+  lock : Mutex.t;
+  table : (string, 'v node) Hashtbl.t;
+  capacity : int;
+  mutable first : 'v node option;
+  mutable last : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let locked (t : 'v t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- recency list primitives (call only under the lock) ---- *)
+
+let unlink (t : 'v t) (n : 'v node) : unit =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> t.first <- n.n_next);
+  (match n.n_next with
+  | Some s -> s.n_prev <- n.n_prev
+  | None -> t.last <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front (t : 'v t) (n : 'v node) : unit =
+  n.n_next <- t.first;
+  (match t.first with Some f -> f.n_prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let evict_to_capacity (t : 'v t) : unit =
+  while Hashtbl.length t.table > t.capacity do
+    match t.last with
+    | None -> assert false (* population > 0 implies a last entry *)
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table n.n_key;
+        t.evictions <- t.evictions + 1
+  done
+
+(* ---- public operations ---- *)
+
+let find (t : 'v t) (key : string) : 'v option =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.n_value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add (t : 'v t) (key : string) (value : 'v) : unit =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some n ->
+          (* replacement: same key, fresher value (two workers racing on
+             the same miss land here; both computed the same bytes) *)
+          n.n_value <- value;
+          unlink t n;
+          push_front t n
+      | None ->
+          let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+          Hashtbl.replace t.table key n;
+          push_front t n);
+      t.insertions <- t.insertions + 1;
+      evict_to_capacity t)
+
+let stats (t : 'v t) : stats =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        insertions = t.insertions;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let hit_rate (s : stats) : float =
+  let looked = s.hits + s.misses in
+  if looked = 0 then 0.0 else float_of_int s.hits /. float_of_int looked

@@ -1,0 +1,39 @@
+(** Content-addressed LRU cache: the compile service's memory of past
+    work.  Keys are stable content hashes ([Wsc_ir.Fingerprint] of the
+    canonical module text plus the pipeline configuration); values are
+    whatever the engine chooses to remember (CSL output, pass remarks,
+    perf stats).
+
+    Thread-safe: every operation takes the cache's own mutex, so worker
+    domains share one cache directly.  A lookup bumps recency; when an
+    insertion pushes the population past [capacity], least-recently-used
+    entries are evicted.  Hit / miss / insertion / eviction counters are
+    monotonic over the cache's lifetime and survive evictions. *)
+
+type 'v t
+
+(** Monotonic counters plus the current population.  [entries] ≤
+    [capacity] always holds after every operation. *)
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;  (** includes replacements of a live key *)
+  evictions : int;  (** LRU entries dropped by capacity pressure *)
+  entries : int;
+  capacity : int;
+}
+
+(** [create ~capacity] — capacity is clamped to at least 1. *)
+val create : capacity:int -> 'v t
+
+(** Bumps the entry to most-recent on a hit; counts a hit or a miss. *)
+val find : 'v t -> string -> 'v option
+
+(** Insert (or replace) and make most-recent, evicting from the LRU end
+    until the population fits. *)
+val add : 'v t -> string -> 'v -> unit
+
+val stats : 'v t -> stats
+
+(** [hit_rate s] — hits / (hits + misses), 0 when no lookups ran. *)
+val hit_rate : stats -> float

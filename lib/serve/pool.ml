@@ -1,0 +1,115 @@
+(** Persistent worker pool — see the interface.
+
+    One mutex guards the queue and all bookkeeping; [work] wakes parked
+    workers when a job or the stop flag arrives, [idle] wakes waiters in
+    {!drain} when the last outstanding job completes. *)
+
+let spawned = Atomic.make 0
+let domains_spawned () = Atomic.get spawned
+
+type 'a t = {
+  lock : Mutex.t;
+  work : Condition.t;
+  idle : Condition.t;
+  queue : 'a Queue.t;
+  mutable stop : bool;
+  mutable in_flight : int;
+  mutable failures : (int * exn) list;  (** (worker index, exn), unordered *)
+  mutable joined : bool;
+  mutable workers : unit Domain.t array;  (** set once, right after create *)
+}
+
+let worker_loop (t : 'a t) (f : int -> 'a -> unit) (i : int) () : unit =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.work t.lock
+    done;
+    if Queue.is_empty t.queue then (* stop, and nothing left: exit *)
+      Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      t.in_flight <- t.in_flight + 1;
+      Mutex.unlock t.lock;
+      (try f i job
+       with e ->
+         Mutex.lock t.lock;
+         t.failures <- (i, e) :: t.failures;
+         Mutex.unlock t.lock);
+      Mutex.lock t.lock;
+      t.in_flight <- t.in_flight - 1;
+      if Queue.is_empty t.queue && t.in_flight = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains (f : int -> 'a -> unit) : 'a t =
+  let n = max 1 domains in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      in_flight = 0;
+      failures = [];
+      joined = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init n (fun i ->
+        Atomic.incr spawned;
+        Domain.spawn (worker_loop t f i));
+  t
+
+let domains (t : 'a t) : int = Array.length t.workers
+
+let submit (t : 'a t) (job : 'a) : bool =
+  Mutex.lock t.lock;
+  let accepted = not t.stop in
+  if accepted then begin
+    Queue.push job t.queue;
+    Condition.signal t.work
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let pending (t : 'a t) : int =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue + t.in_flight in
+  Mutex.unlock t.lock;
+  n
+
+let cancel_pending (t : 'a t) : int =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Queue.clear t.queue;
+  if t.in_flight = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.lock;
+  n
+
+let drain (t : 'a t) : unit =
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue && t.in_flight = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown (t : 'a t) : unit =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let already = t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  if not already then begin
+    Array.iter Domain.join t.workers;
+    (* deterministic re-raise: lowest worker index first *)
+    match List.sort (fun (a, _) (b, _) -> compare a b) t.failures with
+    | (_, e) :: _ -> raise e
+    | [] -> ()
+  end

@@ -1,0 +1,42 @@
+(** Persistent worker pool: [domains] OCaml 5 domains spawned exactly
+    once per pool (the PR 6 fabric worker-pool discipline — never
+    spawn-per-request), pulling jobs from a shared queue until shutdown.
+
+    Jobs run on worker domains; the job function receives the worker's
+    index (0-based) so per-worker state — e.g. a private trace collector
+    — needs no locking.  A job that raises does not kill the pool: the
+    exception is recorded and re-raised from {!shutdown},
+    lowest-worker-index first, after every domain has been joined. *)
+
+type 'a t
+
+(** Total worker domains ever spawned by this module — pinned by a
+    regression test so a spawn-per-request bug cannot creep back in. *)
+val domains_spawned : unit -> int
+
+(** [create ~domains f] spawns exactly [domains] workers (clamped to at
+    least 1) that each run [f worker_index job] on dequeued jobs. *)
+val create : domains:int -> (int -> 'a -> unit) -> 'a t
+
+val domains : 'a t -> int
+
+(** Enqueue a job; [false] once {!shutdown} has begun (the job is
+    dropped). *)
+val submit : 'a t -> 'a -> bool
+
+(** Jobs not yet finished: queued plus in-flight.  Poll this (instead of
+    blocking in {!drain}) in loops that must stay responsive to a signal
+    flag. *)
+val pending : 'a t -> int
+
+(** Drop every queued-but-unstarted job; returns how many were dropped.
+    In-flight jobs are unaffected. *)
+val cancel_pending : 'a t -> int
+
+(** Block until the queue is empty and no job is in flight. *)
+val drain : 'a t -> unit
+
+(** Graceful: workers finish everything still queued, then exit and are
+    joined.  Re-raises the first recorded job exception (lowest worker
+    index) after the join.  Idempotent. *)
+val shutdown : 'a t -> unit

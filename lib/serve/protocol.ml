@@ -1,0 +1,325 @@
+(** The compile service's wire format — see the interface. *)
+
+module J = Wsc_trace.Json
+module Pipeline = Wsc_core.Pipeline
+
+type compile_request = {
+  rq_id : int;
+  rq_source : string;
+  rq_options : Pipeline.options;
+  rq_timeout_s : float option;
+}
+
+type request = Compile of compile_request | Stats of int | Shutdown of int
+
+(* ------------------------------------------------------------------ *)
+(* config <-> options                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let options_of_config (defaults : Pipeline.options) (kvs : (string * J.t) list) :
+    (Pipeline.options, string) Stdlib.result =
+  let bool_field k v =
+    match v with
+    | J.Bool b -> Ok b
+    | _ -> Error (Printf.sprintf "config.%s: expected a bool" k)
+  in
+  let rec go (o : Pipeline.options) = function
+    | [] -> Ok o
+    | (k, v) :: rest -> (
+        let set =
+          match k with
+          | "inline_stencils" ->
+              Result.map
+                (fun b -> { o with Pipeline.inline_stencils = b })
+                (bool_field k v)
+          | "use_varith" ->
+              Result.map (fun b -> { o with Pipeline.use_varith = b }) (bool_field k v)
+          | "promote_coefficients" ->
+              Result.map
+                (fun b -> { o with Pipeline.promote_coefficients = b })
+                (bool_field k v)
+          | "one_shot_reduction" ->
+              Result.map
+                (fun b -> { o with Pipeline.one_shot_reduction = b })
+                (bool_field k v)
+          | "fuse_fmac" ->
+              Result.map (fun b -> { o with Pipeline.fuse_fmac = b }) (bool_field k v)
+          | "fuse_fmac_pass" ->
+              Result.map
+                (fun b -> { o with Pipeline.fuse_fmac_pass = b })
+                (bool_field k v)
+          | "comm_budget_bytes" -> (
+              match v with
+              | J.Int n when n > 0 -> Ok { o with Pipeline.comm_budget_bytes = n }
+              | _ -> Error "config.comm_budget_bytes: expected a positive int")
+          | "num_chunks_override" -> (
+              match v with
+              | J.Null -> Ok { o with Pipeline.num_chunks_override = None }
+              | J.Int n when n > 0 ->
+                  Ok { o with Pipeline.num_chunks_override = Some n }
+              | _ ->
+                  Error "config.num_chunks_override: expected a positive int or null")
+          | "program_name" -> (
+              match v with
+              | J.String s when s <> "" -> Ok { o with Pipeline.program_name = s }
+              | _ -> Error "config.program_name: expected a non-empty string")
+          | k ->
+              (* unknown knobs are fatal: accepting one silently would
+                 hand two behaviorally different requests one cache key *)
+              Error (Printf.sprintf "config.%s: unknown option" k)
+        in
+        match set with Ok o -> go o rest | Error _ as e -> e)
+  in
+  go defaults kvs
+
+let config_of_options (o : Pipeline.options) : J.t =
+  J.Obj
+    [
+      ("inline_stencils", J.Bool o.Pipeline.inline_stencils);
+      ("use_varith", J.Bool o.Pipeline.use_varith);
+      ("promote_coefficients", J.Bool o.Pipeline.promote_coefficients);
+      ("one_shot_reduction", J.Bool o.Pipeline.one_shot_reduction);
+      ("fuse_fmac", J.Bool o.Pipeline.fuse_fmac);
+      ("fuse_fmac_pass", J.Bool o.Pipeline.fuse_fmac_pass);
+      ("comm_budget_bytes", J.Int o.Pipeline.comm_budget_bytes);
+      ( "num_chunks_override",
+        match o.Pipeline.num_chunks_override with
+        | None -> J.Null
+        | Some n -> J.Int n );
+      ("program_name", J.String o.Pipeline.program_name);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let request_of_string ~(defaults : Pipeline.options) (line : string) :
+    (request, int option * string) Stdlib.result =
+  match J.of_string line with
+  | Error msg -> Error (None, "request is not valid JSON: " ^ msg)
+  | Ok doc -> (
+      let id =
+        match J.member "id" doc with Some (J.Int i) -> Some i | _ -> None
+      in
+      let fail msg = Error (id, msg) in
+      match id with
+      | None -> fail "request has no integer \"id\""
+      | Some id -> (
+          match Option.bind (J.member "op" doc) J.to_string_opt with
+          | None -> fail "request has no string \"op\""
+          | Some "stats" -> Ok (Stats id)
+          | Some "shutdown" -> Ok (Shutdown id)
+          | Some "compile" -> (
+              match Option.bind (J.member "source" doc) J.to_string_opt with
+              | None -> fail "compile request has no string \"source\""
+              | Some source -> (
+                  let timeout_s =
+                    Option.bind (J.member "timeout_s" doc) J.to_number_opt
+                  in
+                  match J.member "config" doc with
+                  | None | Some J.Null ->
+                      Ok
+                        (Compile
+                           {
+                             rq_id = id;
+                             rq_source = source;
+                             rq_options = defaults;
+                             rq_timeout_s = timeout_s;
+                           })
+                  | Some (J.Obj kvs) -> (
+                      match options_of_config defaults kvs with
+                      | Ok rq_options ->
+                          Ok
+                            (Compile
+                               {
+                                 rq_id = id;
+                                 rq_source = source;
+                                 rq_options;
+                                 rq_timeout_s = timeout_s;
+                               })
+                      | Error msg -> fail msg)
+                  | Some _ -> fail "config: expected an object"))
+          | Some op -> fail (Printf.sprintf "unknown op %S" op)))
+
+let request_to_string (r : request) : string =
+  let doc =
+    match r with
+    | Stats id -> J.Obj [ ("id", J.Int id); ("op", J.String "stats") ]
+    | Shutdown id -> J.Obj [ ("id", J.Int id); ("op", J.String "shutdown") ]
+    | Compile c ->
+        J.Obj
+          ([
+             ("id", J.Int c.rq_id);
+             ("op", J.String "compile");
+             ("source", J.String c.rq_source);
+             ("config", config_of_options c.rq_options);
+           ]
+          @
+          match c.rq_timeout_s with
+          | None -> []
+          | Some s -> [ ("timeout_s", J.Float s) ])
+  in
+  J.to_string doc
+
+let compile_line ~(id : int) ~(source : string) : string =
+  J.to_string
+    (J.Obj
+       [ ("id", J.Int id); ("op", J.String "compile"); ("source", J.String source) ])
+
+(* ------------------------------------------------------------------ *)
+(* responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let envelope ~(id : int option) ~(op : string) (results : J.t list) : J.t =
+  J.summary ~tool:"serve"
+    ~config:
+      [
+        ("id", match id with Some i -> J.Int i | None -> J.Null);
+        ("op", J.String op);
+      ]
+    ~results
+
+let timing_obj (tm : Engine.timing) : J.t =
+  J.Obj
+    [
+      ("queue_s", J.Float (Engine.queue_s tm));
+      ("parse_s", J.Float (Engine.parse_s tm));
+      ("compile_s", J.Float (Engine.compile_s tm));
+      ("emit_s", J.Float (Engine.emit_s tm));
+      ("total_s", J.Float (Engine.total_s tm));
+    ]
+
+(** The cacheable payload: everything here comes from the cached
+    [Engine.compiled] record, so a hit renders it byte-identically to
+    the cold compile that populated the entry. *)
+let compiled_members (c : Engine.compiled) : (string * J.t) list =
+  [
+    ( "files",
+      J.List
+        (List.map
+           (fun (filename, contents) ->
+             J.Obj
+               [
+                 ("filename", J.String filename);
+                 ("contents", J.String contents);
+               ])
+           c.Engine.files) );
+    ( "compile",
+      J.Obj
+        [
+          ("canonical_bytes", J.Int c.Engine.canonical_bytes);
+          ("ops_in", J.Int c.Engine.ops_in);
+          ("ops_out", J.Int c.Engine.ops_out);
+          ("cold_wall_s", J.Float c.Engine.cold_wall_s);
+          ( "passes",
+            J.List
+              (List.map
+                 (fun (r : Wsc_ir.Pass.remark) ->
+                   J.Obj
+                     [
+                       ("pass", J.String r.r_pass);
+                       ("wall_s", J.Float r.r_wall_s);
+                       ("verify_s", J.Float r.r_verify_s);
+                       ("ops_before", J.Int r.r_ops_before);
+                       ("ops_after", J.Int r.r_ops_after);
+                     ])
+                 c.Engine.remarks) );
+        ] );
+  ]
+
+let compile_response ~(id : int) (r : Engine.result) : J.t =
+  let cache_member =
+    match r.Engine.cache with
+    | Some `Hit -> [ ("cache", J.String "hit") ]
+    | Some `Miss -> [ ("cache", J.String "miss") ]
+    | None -> []
+  in
+  let result =
+    match r.Engine.outcome with
+    | Ok c ->
+        J.Obj
+          ([ ("status", J.String "ok"); ("key", J.String c.Engine.key) ]
+          @ cache_member
+          @ compiled_members c
+          @ [ ("timing", timing_obj r.Engine.timing) ])
+    | Error e ->
+        J.Obj
+          ([
+             ("status", J.String "error");
+             ("kind", J.String (Engine.error_kind_to_string e.Engine.e_kind));
+             ("message", J.String e.Engine.e_message);
+           ]
+          @ cache_member
+          @ [ ("timing", timing_obj r.Engine.timing) ])
+  in
+  envelope ~id:(Some id) ~op:"compile" [ result ]
+
+let protocol_error_response ~(id : int option) (msg : string) : J.t =
+  envelope ~id ~op:"error"
+    [
+      J.Obj
+        [
+          ("status", J.String "error");
+          ("kind", J.String "protocol");
+          ("message", J.String msg);
+        ];
+    ]
+
+let stats_response ~(id : int) ~(engine : Engine.t) ~(uptime_s : float) : J.t =
+  let s = Engine.cache_stats engine in
+  let requests, ok, errors = Engine.counters engine in
+  envelope ~id:(Some id) ~op:"stats"
+    [
+      J.Obj
+        [
+          ("status", J.String "ok");
+          ("uptime_s", J.Float uptime_s);
+          ("requests", J.Int requests);
+          ("ok", J.Int ok);
+          ("errors", J.Int errors);
+          ( "cache",
+            J.Obj
+              [
+                ("hits", J.Int s.Cache.hits);
+                ("misses", J.Int s.Cache.misses);
+                ("insertions", J.Int s.Cache.insertions);
+                ("evictions", J.Int s.Cache.evictions);
+                ("entries", J.Int s.Cache.entries);
+                ("capacity", J.Int s.Cache.capacity);
+                ("hit_rate", J.Float (Cache.hit_rate s));
+              ] );
+        ];
+    ]
+
+let shutdown_response ~(id : int) : J.t =
+  envelope ~id:(Some id) ~op:"shutdown"
+    [ J.Obj [ ("status", J.String "ok"); ("draining", J.Bool true) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* response inspection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let first_result (doc : J.t) : J.t option =
+  match Option.bind (J.member "results" doc) J.to_list_opt with
+  | Some (r :: _) -> Some r
+  | _ -> None
+
+let response_id (doc : J.t) : int option =
+  match Option.bind (J.member "config" doc) (J.member "id") with
+  | Some (J.Int i) -> Some i
+  | _ -> None
+
+let response_status (doc : J.t) : string option =
+  Option.bind (first_result doc) (fun r ->
+      Option.bind (J.member "status" r) J.to_string_opt)
+
+let response_cache (doc : J.t) : string option =
+  Option.bind (first_result doc) (fun r ->
+      Option.bind (J.member "cache" r) J.to_string_opt)
+
+let response_payload (doc : J.t) : string option =
+  Option.bind (first_result doc) (fun r ->
+      match (J.member "files" r, J.member "compile" r) with
+      | Some files, Some compile ->
+          Some (J.to_string (J.Obj [ ("files", files); ("compile", compile) ]))
+      | _ -> None)

@@ -1,0 +1,319 @@
+(** The long-running compilation server — see the interface.
+
+    Structure: the main thread owns every file descriptor and multiplexes
+    them with [Unix.select] under a short timeout (so the stop flag is
+    polled even when idle).  Worker domains never touch an fd: finished
+    responses go through a mutex-protected outbox that the main loop
+    drains after every select round.  Line framing is byte-accurate —
+    a request split across reads is reassembled, and responses are
+    written as complete lines only. *)
+
+module J = Wsc_trace.Json
+module T = Wsc_trace.Trace
+
+type transport = Stdio | Unix_socket of string
+
+type config = {
+  domains : int;
+  capacity : int;
+  timeout_s : float;
+  options : Wsc_core.Pipeline.options;
+  transport : transport;
+  trace_path : string option;
+}
+
+let default_config =
+  {
+    domains = 1;
+    capacity = Engine.default_capacity;
+    timeout_s = Engine.default_timeout_s;
+    options = Wsc_core.Pipeline.default_options;
+    transport = Stdio;
+    trace_path = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* cooperative stop flag                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stop_flag = Atomic.make false
+let request_stop () = Atomic.set stop_flag true
+let reset_stop () = Atomic.set stop_flag false
+let stop_requested () = Atomic.get stop_flag
+
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> request_stop ()) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle;
+  (* a client vanishing mid-write must not kill the server: EPIPE is
+     reported by the write call instead *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_id : int;
+  c_in : Unix.file_descr;
+  c_out : Unix.file_descr;
+  c_buf : Buffer.t;  (** bytes read but not yet terminated by '\n' *)
+  mutable c_eof : bool;  (** read side closed; writes may still drain *)
+  mutable c_dead : bool;  (** write side failed; drop silently *)
+  c_close_fds : bool;  (** sockets: close on removal (never for stdio) *)
+}
+
+(** Split [buf ^ chunk] into complete lines; the tail stays buffered. *)
+let push_chunk (c : conn) (chunk : string) : string list =
+  Buffer.add_string c.c_buf chunk;
+  let s = Buffer.contents c.c_buf in
+  Buffer.clear c.c_buf;
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i ch ->
+      if ch = '\n' then begin
+        lines := String.sub s !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    s;
+  Buffer.add_substring c.c_buf s !start (String.length s - !start);
+  List.rev !lines
+
+let write_all (c : conn) (s : string) : unit =
+  if not c.c_dead then begin
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let pos = ref 0 in
+    try
+      while !pos < n do
+        pos := !pos + Unix.write c.c_out b !pos (n - !pos)
+      done
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      c.c_dead <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the server                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  j_conn : int;
+  j_req : Protocol.compile_request;
+  j_submit : float;
+}
+
+let run (cfg : config) : int =
+  let engine =
+    Engine.create ~capacity:cfg.capacity ~timeout_s:cfg.timeout_s
+      ~options:cfg.options ()
+  in
+  let domains = max 1 cfg.domains in
+  let epoch = Unix.gettimeofday () in
+  let sinks =
+    Array.init domains (fun _ ->
+        match cfg.trace_path with Some _ -> T.collector () | None -> T.null)
+  in
+  (* outbox: workers push (conn id, response line); only the main loop
+     writes fds *)
+  let out_lock = Mutex.create () in
+  let outbox : (int * string) Queue.t = Queue.create () in
+  let respond conn_id (doc : J.t) : unit =
+    let line = J.to_string doc ^ "\n" in
+    Mutex.lock out_lock;
+    Queue.push (conn_id, line) outbox;
+    Mutex.unlock out_lock
+  in
+  let worker i (job : job) : unit =
+    let r =
+      Engine.compile_source engine ~options:job.j_req.Protocol.rq_options
+        ?timeout_s:job.j_req.Protocol.rq_timeout_s ~submitted_at:job.j_submit
+        job.j_req.Protocol.rq_source
+    in
+    Engine.emit_spans sinks.(i) ~tid:i ~epoch ~id:job.j_req.Protocol.rq_id r;
+    respond job.j_conn (Protocol.compile_response ~id:job.j_req.Protocol.rq_id r)
+  in
+  let pool = Pool.create ~domains worker in
+  (* --- transport setup --- *)
+  let next_conn = ref 0 in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+  let add_conn ~close_fds fd_in fd_out =
+    let id = !next_conn in
+    incr next_conn;
+    Hashtbl.replace conns id
+      {
+        c_id = id;
+        c_in = fd_in;
+        c_out = fd_out;
+        c_buf = Buffer.create 4096;
+        c_eof = false;
+        c_dead = false;
+        c_close_fds = close_fds;
+      }
+  in
+  let listen_fd, socket_path =
+    match cfg.transport with
+    | Stdio ->
+        add_conn ~close_fds:false Unix.stdin Unix.stdout;
+        (None, None)
+    | Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 16;
+        (Some fd, Some path)
+  in
+  let served = ref 0 in
+  let draining = ref false in
+  let flush_outbox () =
+    let batch = ref [] in
+    Mutex.lock out_lock;
+    while not (Queue.is_empty outbox) do
+      batch := Queue.pop outbox :: !batch
+    done;
+    Mutex.unlock out_lock;
+    List.iter
+      (fun (conn_id, line) ->
+        match Hashtbl.find_opt conns conn_id with
+        | Some c -> write_all c line
+        | None -> () (* client went away; drop *))
+      (List.rev !batch)
+  in
+  let outbox_empty () =
+    Mutex.lock out_lock;
+    let e = Queue.is_empty outbox in
+    Mutex.unlock out_lock;
+    e
+  in
+  let handle_line (c : conn) (line : string) : unit =
+    if String.trim line <> "" then begin
+      incr served;
+      match Protocol.request_of_string ~defaults:cfg.options line with
+      | Error (id, msg) -> respond c.c_id (Protocol.protocol_error_response ~id msg)
+      | Ok (Protocol.Stats id) ->
+          respond c.c_id
+            (Protocol.stats_response ~id ~engine
+               ~uptime_s:(Unix.gettimeofday () -. epoch))
+      | Ok (Protocol.Shutdown id) ->
+          respond c.c_id (Protocol.shutdown_response ~id);
+          draining := true
+      | Ok (Protocol.Compile rq) ->
+          let job = { j_conn = c.c_id; j_req = rq; j_submit = Unix.gettimeofday () } in
+          if not (Pool.submit pool job) then
+            respond c.c_id
+              (Protocol.protocol_error_response ~id:(Some rq.Protocol.rq_id)
+                 "server is shutting down")
+    end
+  in
+  let read_chunk (c : conn) : unit =
+    let buf = Bytes.create 65536 in
+    match Unix.read c.c_in buf 0 (Bytes.length buf) with
+    | 0 -> c.c_eof <- true
+    | n -> List.iter (handle_line c) (push_chunk c (Bytes.sub_string buf 0 n))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        c.c_eof <- true
+  in
+  let remove_closed () =
+    let dead =
+      Hashtbl.fold
+        (fun id c acc -> if c.c_eof || c.c_dead then (id, c) :: acc else acc)
+        conns []
+    in
+    List.iter
+      (fun (id, c) ->
+        (* a read-closed conn may still owe responses for in-flight
+           work; only drop it once nothing can be pending for anyone.
+           Dead (write-failed) conns are dropped immediately. *)
+        if c.c_dead || (c.c_eof && Pool.pending pool = 0 && outbox_empty ()) then begin
+          Hashtbl.remove conns id;
+          if c.c_close_fds then (
+            try Unix.close c.c_in with Unix.Unix_error _ -> ())
+        end)
+      dead
+  in
+  let finally () =
+    (* graceful teardown on every exit path: finish accepted work, get
+       every response out, then tear the pool down and report *)
+    draining := true;
+    (try
+       while Pool.pending pool > 0 do
+         flush_outbox ();
+         Unix.sleepf 0.01
+       done
+     with _ -> ());
+    Pool.shutdown pool;
+    flush_outbox ();
+    (match listen_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match socket_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match cfg.trace_path with
+    | Some path ->
+        let into = T.collector () in
+        Array.iteri
+          (fun i _sink ->
+            T.name_track into ~pid:T.serve_pid ~tid:i
+              (Printf.sprintf "worker %d" i))
+          sinks;
+        T.name_process into ~pid:T.serve_pid "compile service";
+        T.merge_into ~into (Array.to_list sinks);
+        Wsc_trace.Chrome.write_file ~path into
+    | None -> ());
+    let requests, ok, errors = Engine.counters engine in
+    let s = Engine.cache_stats engine in
+    Printf.eprintf
+      "wsc serve: %d request(s) read, %d compiled ok, %d error(s); cache %d \
+       hit / %d miss / %d evicted (hit-rate %.1f%%, %d/%d entries); uptime \
+       %.1f s\n\
+       %!"
+      !served ok errors s.Cache.hits s.Cache.misses s.Cache.evictions
+      (100.0 *. Cache.hit_rate s)
+      s.Cache.entries s.Cache.capacity
+      (Unix.gettimeofday () -. epoch);
+    ignore requests
+  in
+  Fun.protect ~finally (fun () ->
+      let stdio_eof_done () =
+        (* stdin closed, everything compiled and written: normal exit *)
+        cfg.transport = Stdio
+        && Hashtbl.fold (fun _ c acc -> acc && c.c_eof) conns true
+        && Pool.pending pool = 0
+        && outbox_empty ()
+      in
+      while
+        not (stop_requested () || !draining)
+        && not (stdio_eof_done ())
+      do
+        let read_fds =
+          (match listen_fd with Some fd -> [ fd ] | None -> [])
+          @ Hashtbl.fold
+              (fun _ c acc -> if c.c_eof then acc else c.c_in :: acc)
+              conns []
+        in
+        let readable =
+          match Unix.select read_fds [] [] 0.1 with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            match listen_fd with
+            | Some lfd when fd = lfd ->
+                let client, _ = Unix.accept lfd in
+                add_conn ~close_fds:true client client
+            | _ -> (
+                match
+                  Hashtbl.fold
+                    (fun _ c acc -> if c.c_in = fd then Some c else acc)
+                    conns None
+                with
+                | Some c -> read_chunk c
+                | None -> ()))
+          readable;
+        flush_outbox ();
+        remove_closed ()
+      done);
+  !served

@@ -261,12 +261,17 @@ let of_string (s : string) : (t, string) result =
 let float_or_null (f : float) : t =
   match Float.classify_float f with FP_nan | FP_infinite -> Null | _ -> Float f
 
+(* bump when the envelope shape (or any emitter's results shape) changes
+   incompatibly; consumers — including serve-protocol clients — dispatch
+   on it before reading results *)
+let schema_version = 1
+
 let summary ~(tool : string) ~(config : (string * t) list) ~(results : t list) :
     t =
   Obj
     [
       ("tool", String tool);
-      ("schema_version", Int 1);
+      ("schema_version", Int schema_version);
       ("config", Obj config);
       ("results", List results);
     ]

@@ -31,6 +31,11 @@ val of_string : string -> (t, string) result
     where "no measurement" must stay distinguishable from a number. *)
 val float_or_null : float -> t
 
+(** The envelope's protocol version, stamped into every {!summary} (and
+    the serve protocol's responses); consumers dispatch on it before
+    reading [results].  Bump on incompatible shape changes. *)
+val schema_version : int
+
 val summary : tool:string -> config:(string * t) list -> results:t list -> t
 
 (** Object member lookup ([None] on non-objects and missing keys). *)

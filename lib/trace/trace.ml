@@ -55,6 +55,7 @@ let fabric_pid = 0
 let compiler_pid = 1
 let host_pid = 2
 let driver_pid = 3
+let serve_pid = 4
 
 let null : sink = Null
 

@@ -41,6 +41,11 @@ val compiler_pid : int
 val host_pid : int
 val driver_pid : int
 
+(** The compile service: one track per worker domain, request phases
+    (queue wait, parse, per-pass compile, emit) as spans in wall-clock
+    microseconds since server start. *)
+val serve_pid : int
+
 val null : sink
 
 (** A fresh collecting sink. *)

@@ -117,6 +117,30 @@ let test_json_accessors () =
   check "list" true
     (Option.map List.length (Option.bind (J.member "l" v) J.to_list_opt) = Some 1)
 
+(** Every tool's envelope carries the shared schema_version, and it
+    survives a print/parse round trip — downstream scripts dispatch on
+    it before touching [results]. *)
+let test_summary_schema_version () =
+  List.iter
+    (fun tool ->
+      let doc =
+        J.summary ~tool
+          ~config:[ ("k", J.Int 1) ]
+          ~results:[ J.Obj [ ("r", J.Bool true) ] ]
+      in
+      check (tool ^ " stamps schema_version") true
+        (J.member "schema_version" doc = Some (J.Int J.schema_version));
+      match J.of_string (J.to_string doc) with
+      | Ok doc' ->
+          check
+            (tool ^ " schema_version survives roundtrip")
+            true
+            (J.member "schema_version" doc' = Some (J.Int J.schema_version));
+          check (tool ^ " tool survives roundtrip") true
+            (J.member "tool" doc' = Some (J.String tool))
+      | Error msg -> Alcotest.failf "summary for %s reparse failed: %s" tool msg)
+    [ "simulate"; "faults"; "fuzz"; "reduce"; "bench"; "serve"; "batch" ]
+
 (* qcheck: roundtrip over random int/string/bool trees (floats are
    printed to 12 significant digits, so exact roundtrip is only promised
    for the scalar cases above) *)
@@ -385,6 +409,8 @@ let () =
             test_json_floats_stay_numbers;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "summary schema_version" `Quick
+            test_summary_schema_version;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "simulation",
