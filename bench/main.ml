@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- one experiment
      experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations weak sched
-                  par serve perfsmoke trace micro
+                  par serve perfsmoke trace micro multiwafer
 
    Absolute numbers come from the fabric simulator and the calibrated
    machine models (see DESIGN.md); the claims under reproduction are the
@@ -811,6 +811,175 @@ let json_summary (path : string) : unit =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Multi-wafer scale-out: bit-identity validation + scaling (PR 8)     *)
+(* ------------------------------------------------------------------ *)
+
+(** Two halves, one JSON file (BENCH_PR8.json).  Validation: every
+    paper benchmark co-simulated over 2×1 and 2×2 wafer grids at Tiny
+    through one shared compile engine, drained fields asserted
+    bit-identical to the undecomposed single-wafer run (exit 1 on any
+    mismatch).  Scaling: the strong/weak figures of an N-wafer WSE3
+    against the Tursa-A100 and ARCHER2 cluster models, per-wafer
+    compute from the simulator-measured steady-state cycles per
+    iteration.  Wall-clock ratios follow the PR 6 honesty rules: cores
+    ride along on every row, and a leg running more worker domains
+    than cores is flagged oversubscribed — its ratio is recorded but
+    carries no verdict. *)
+let multiwafer () =
+  header
+    "Multi-wafer scale-out: decompose, compile per slice through the\n\
+     shared engine cache, co-simulate one domain per wafer; drained\n\
+     fields must be bit-identical to the single-wafer simulation";
+  let module J = Wsc_trace.Json in
+  let module MW = Wsc_multiwafer.Cosim in
+  let module SC = Wsc_multiwafer.Scaling in
+  let module Cache = Wsc_serve.Cache in
+  let machine = Machine.wse3 in
+  let cores = Domain.recommended_domain_count () in
+  let mismatches = ref 0 in
+  let rows = ref [] in
+  Printf.printf "%d core(s) available (Domain.recommended_domain_count)\n" cores;
+  if cores < 2 then
+    Printf.printf
+      "WARNING: single-core host — every multi-wafer leg below is\n\
+       oversubscribed; wall-clock ratios measure scheduling overhead, not\n\
+       parallel speedup, and their verdicts are skipped\n";
+  Printf.printf "\n%-10s %6s %7s %5s %9s %9s %12s %5s %5s %9s\n" "benchmark"
+    "wafers" "domains" "cores" "wall s" "1-waf s" "device cyc" "hit" "dedup"
+    "identical";
+  (* one engine across every leg: the second wafer grid of a benchmark
+     re-submits slice programs the first already compiled, so the cache
+     columns also demonstrate cross-run reuse *)
+  let engine = Wsc_serve.Engine.create () in
+  List.iter
+    (fun (d : B.descr) ->
+      let p = d.make B.Tiny in
+      let refs, w0 = wall (fun () -> MW.reference ~machine p) in
+      List.iter
+        (fun (wx, wy) ->
+          let s0 = Wsc_serve.Engine.cache_stats engine in
+          let r, w =
+            wall (fun () -> MW.run ~engine ~machine ~wafers:(wx, wy) p)
+          in
+          let s1 = r.MW.cache in
+          let hits = s1.Cache.hits - s0.Cache.hits in
+          let dedup = s1.Cache.dedup_hits - s0.Cache.dedup_hits in
+          let misses = s1.Cache.misses - s0.Cache.misses in
+          let identical = MW.grids_bit_identical refs r.MW.grids in
+          if not identical then begin
+            incr mismatches;
+            Printf.printf "    drained fields differ from the single wafer\n"
+          end;
+          let domains = wx * wy in
+          let oversubscribed = domains > cores in
+          let speedup = w0 /. w in
+          Printf.printf "%-10s %6s %7d %5d %9.3f %9.3f %12.0f %5d %5d %9s\n"
+            d.id
+            (Printf.sprintf "%dx%d" wx wy)
+            domains cores w w0 r.MW.device_cycles hits dedup
+            (if identical then "yes" else "NO");
+          if oversubscribed then
+            Printf.printf
+              "    note: %d domains > %d cores — oversubscribed, wall ratio \
+               (%.2fx) recorded without verdict\n"
+              domains cores speedup;
+          rows :=
+            J.Obj
+              [
+                ("kind", J.String "validation");
+                ("benchmark", J.String d.id);
+                ("wafers", J.String (Printf.sprintf "%dx%d" wx wy));
+                ("domains", J.Int domains);
+                ("cores", J.Int cores);
+                ("oversubscribed", J.Bool oversubscribed);
+                ("wall_s", J.Float w);
+                ("single_wafer_wall_s", J.Float w0);
+                ("speedup", J.Float speedup);
+                ("speedup_meaningful", J.Bool (not oversubscribed));
+                ("epochs", J.Int r.MW.epochs);
+                ("distinct_programs", J.Int r.MW.distinct_programs);
+                ("device_cycles", J.Float r.MW.device_cycles);
+                ("interconnect_s", J.Float r.MW.interconnect_s);
+                ("exchange_bytes", J.Int r.MW.exchange_bytes);
+                ("cache_hits", J.Int hits);
+                ("cache_dedup_hits", J.Int dedup);
+                ("cache_misses", J.Int misses);
+                ("identical", J.Bool identical);
+              ]
+            :: !rows)
+        [ (2, 1); (2, 2) ])
+    B.all;
+  (* scaling figures: strong + weak per benchmark, modeled from the
+     measured per-PE steady state (extent-independent: SPMD) *)
+  let figures = ref [] in
+  List.iter
+    (fun (d : B.descr) ->
+      let m = WP.measure ~machine ~size:(B.Proxy (8, 8)) d in
+      let cpi = m.WP.cycles_per_iter in
+      List.iter
+        (fun (fig : SC.figure) ->
+          let mode =
+            match fig.SC.mode with `Strong -> "strong" | `Weak -> "weak"
+          in
+          Printf.printf
+            "\n%s scaling, %s (%.0f cycles/iter @ %.1f GHz, WSE3 wafers)\n"
+            mode d.id cpi (machine.Machine.clock_hz /. 1e9);
+          Printf.printf "%8s %16s %10s %10s %8s %6s %8s\n" "wafers" "global"
+            "t_iter us" "GPts/s" "speedup" "eff" "feasible";
+          List.iter
+            (fun (pt : SC.point) ->
+              let wx, wy = pt.SC.wafers in
+              let gx, gy, gz = pt.SC.global in
+              Printf.printf "%8s %16s %10.2f %10.1f %7.2fx %5.0f%% %8s\n"
+                (Printf.sprintf "%dx%d" wx wy)
+                (Printf.sprintf "%dx%dx%d" gx gy gz)
+                (pt.SC.t_iter_s *. 1e6) pt.SC.gpts_per_s pt.SC.speedup
+                (pt.SC.efficiency *. 100.0)
+                (if pt.SC.feasible then "yes" else "no"))
+            fig.SC.points;
+          List.iter
+            (fun ((name, c) : string * Wsc_perf.Cluster.cluster_measurement) ->
+              Printf.printf "  baseline %-18s %4d devices %10.1f GPts/s\n" name
+                c.Wsc_perf.Cluster.devices c.Wsc_perf.Cluster.gpts_per_s)
+            fig.SC.baselines;
+          figures := SC.to_json fig :: !figures)
+        [
+          SC.strong ~machine ~cycles_per_iter:cpi d;
+          SC.weak ~machine ~cycles_per_iter:cpi d;
+        ])
+    B.all;
+  let doc =
+    J.summary ~tool:"bench-multiwafer"
+      ~config:
+        [
+          ("machine", J.String machine.Machine.name);
+          ("size", J.String "tiny");
+          ("cores", J.Int cores);
+          ("wafer_grids", J.List [ J.String "2x1"; J.String "2x2" ]);
+        ]
+      ~results:
+        [
+          J.Obj
+            [
+              ("validation", J.List (List.rev !rows));
+              ("scaling", J.List (List.rev !figures));
+            ];
+        ]
+  in
+  let oc = open_out "BENCH_PR8.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_PR8.json\n";
+  if !mismatches = 0 then
+    Printf.printf
+      "all multi-wafer runs bit-identical to the single-wafer simulation\n"
+  else begin
+    Printf.printf "MISMATCH on %d run(s)\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -828,6 +997,7 @@ let experiments =
     ("perfsmoke", perfsmoke);
     ("trace", trace_exp);
     ("micro", micro);
+    ("multiwafer", multiwafer);
   ]
 
 let () =

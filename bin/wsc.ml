@@ -15,7 +15,10 @@
     - [reduce]: shrink a crash artifact to a minimal reproducer;
     - [serve]: long-running compile service (JSON-lines over stdio or a
       Unix socket, persistent worker domains, content-addressed cache);
-    - [batch]: run the serve engine over a manifest of IR files. *)
+    - [batch]: run the serve engine over a manifest of IR files;
+    - [multiwafer]: decompose a benchmark across N simulated wafers,
+      co-simulate one wafer per domain, and check bit-identity against
+      the undecomposed single-wafer run. *)
 
 open Cmdliner
 module B = Wsc_benchmarks.Benchmarks
@@ -918,6 +921,158 @@ let ir_cmd =
       term_result
         (const run $ bench_arg $ input_arg $ size_arg $ iters_arg $ stage_arg))
 
+(* ---------------- multiwafer ---------------- *)
+
+let wafers_conv =
+  let parse s =
+    match String.split_on_char 'x' s with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some wx, Some wy when wx >= 1 && wy >= 1 -> Ok (wx, wy)
+        | _ -> Error (`Msg (Printf.sprintf "bad wafer grid '%s': expected WxH" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad wafer grid '%s': expected WxH" s))
+  in
+  Arg.conv (parse, fun fmt (w, h) -> Format.fprintf fmt "%dx%d" w h)
+
+let wafers_arg =
+  Arg.(
+    value & opt wafers_conv (2, 1)
+    & info [ "w"; "wafers" ] ~docv:"WxH"
+        ~doc:"Wafer grid to decompose over (e.g. 2x1, 2x2).")
+
+let mw_latency_arg =
+  Arg.(
+    value
+    & opt float Wsc_multiwafer.Interconnect.default.latency_s
+    & info [ "latency" ] ~docv:"S"
+        ~doc:"Modeled inter-wafer interconnect latency, seconds per epoch.")
+
+let mw_bandwidth_arg =
+  Arg.(
+    value
+    & opt float Wsc_multiwafer.Interconnect.default.bandwidth_bytes_per_s
+    & info [ "bandwidth" ] ~docv:"B/S"
+        ~doc:"Modeled inter-wafer interconnect bandwidth, bytes per second.")
+
+let mw_no_check_arg =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:
+          "Skip the bit-identity check against the undecomposed \
+           single-wafer simulation.")
+
+let mw_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable summary (plan, per-epoch cycles, \
+           interconnect charge, compile-cache counters, bit-identity).")
+
+let multiwafer_cmd =
+  let module MW = Wsc_multiwafer.Cosim in
+  let module D = Wsc_multiwafer.Decompose in
+  let module IC = Wsc_multiwafer.Interconnect in
+  let module J = Wsc_trace.Json in
+  let run bench size iterations machine wafers latency bandwidth no_check
+      json_out =
+    let* p =
+      match bench with
+      | None -> Error (`Msg "multiwafer: choose a benchmark with --bench NAME")
+      | Some id -> (
+          match B.find id with
+          | exception Invalid_argument msg -> Error (`Msg msg)
+          | d ->
+              Ok
+                (match iterations with
+                | Some n -> d.make_n size n
+                | None -> d.make size))
+    in
+    let interconnect =
+      { IC.latency_s = latency; bandwidth_bytes_per_s = bandwidth }
+    in
+    let r = MW.run ~interconnect ~machine ~wafers p in
+    let wx, wy = wafers in
+    let nx, ny, nz = p.P.extents in
+    Printf.printf
+      "multiwafer %s: %dx%dx%d interior over %dx%d wafers (%d slice \
+       shape(s)), %d epoch(s)\n"
+      p.P.pname nx ny nz wx wy r.MW.distinct_programs r.MW.epochs;
+    List.iter
+      (fun (s : D.slice) ->
+        Printf.printf
+          "  wafer (%d,%d): origin (%d,%d) extent %dx%d, %d swap(s), %d \
+           halo scalar(s)/epoch\n"
+          s.D.wi s.D.wj s.D.x0 s.D.y0 s.D.snx s.D.sny (List.length s.D.swaps)
+          (D.slice_exchange_scalars s))
+      r.MW.plan.D.slices;
+    let cs = r.MW.cache in
+    Printf.printf
+      "  device %.0f cycles; interconnect %.3e s for %d byte(s); compile \
+       cache %d hit (%d dedup) / %d miss\n"
+      r.MW.device_cycles r.MW.interconnect_s r.MW.exchange_bytes
+      cs.Wsc_serve.Cache.hits cs.Wsc_serve.Cache.dedup_hits
+      cs.Wsc_serve.Cache.misses;
+    let identical =
+      if no_check then None
+      else begin
+        let refs = MW.reference ~machine p in
+        let ok = MW.grids_bit_identical refs r.MW.grids in
+        Printf.printf "  vs single wafer: %s\n"
+          (if ok then "BIT-IDENTICAL" else "MISMATCH");
+        Some ok
+      end
+    in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        write_json path
+          (J.summary ~tool:"multiwafer"
+             ~config:
+               [
+                 ("bench", J.String p.P.pname);
+                 ("machine", J.String machine.name);
+                 ("size", J.String (B.size_to_string size));
+                 ("wafers", J.String (Printf.sprintf "%dx%d" wx wy));
+                 ("extents", J.List [ J.Int nx; J.Int ny; J.Int nz ]);
+                 ("latency_s", J.Float latency);
+                 ("bandwidth_bytes_per_s", J.Float bandwidth);
+               ]
+             ~results:
+               [
+                 J.Obj
+                   [
+                     ("epochs", J.Int r.MW.epochs);
+                     ("distinct_programs", J.Int r.MW.distinct_programs);
+                     ("device_cycles", J.Float r.MW.device_cycles);
+                     ("interconnect_s", J.Float r.MW.interconnect_s);
+                     ("exchange_bytes", J.Int r.MW.exchange_bytes);
+                     ("cache_hits", J.Int cs.Wsc_serve.Cache.hits);
+                     ("cache_dedup_hits", J.Int cs.Wsc_serve.Cache.dedup_hits);
+                     ("cache_misses", J.Int cs.Wsc_serve.Cache.misses);
+                     ("wall_s", J.Float r.MW.wall_s);
+                     ( "bit_identical",
+                       match identical with
+                       | None -> J.Null
+                       | Some b -> J.Bool b );
+                   ];
+               ]));
+    if identical = Some false then exit 1;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "multiwafer"
+       ~doc:
+         "Decompose a benchmark across N simulated wafers, co-simulate one \
+          wafer per domain, and check bit-identity vs a single wafer.")
+    Term.(
+      term_result
+        (const run $ bench_arg $ size_arg $ iters_arg $ machine_arg
+       $ wafers_arg $ mw_latency_arg $ mw_bandwidth_arg $ mw_no_check_arg
+       $ mw_json_arg))
+
 let () =
   let info =
     Cmd.info "wsc" ~version:"1.0.0"
@@ -936,6 +1091,7 @@ let () =
              reduce_cmd;
              serve_cmd;
              batch_cmd;
+             multiwafer_cmd;
              perf_cmd;
              ir_cmd;
            ])
@@ -943,7 +1099,9 @@ let () =
     | Wsc_wse.Fabric.Sim_error msg
     | Wsc_wse.Host.Host_error msg
     | Wsc_core.To_csl_stencil.Lowering_error msg
-    | Wsc_core.To_actors.Actor_error msg ->
+    | Wsc_core.To_actors.Actor_error msg
+    | Wsc_multiwafer.Decompose.Decompose_error msg
+    | Wsc_multiwafer.Cosim.Cosim_error msg ->
         prerr_endline ("wsc: " ^ msg);
         2
     | Wsc_ir.Parser.Parse_error (_, msg) ->

@@ -81,13 +81,37 @@ let topology (op : op) : int * int =
 
 let swaps (op : op) : swap_desc list = swaps_of_attr (attr_exn op "swaps")
 
+(** Scalar elements received per exchange, summed over the descriptors:
+    each contributes [depth] cell rows restricted to [z_hi - z_lo]
+    columns. *)
+let sum_volume (swaps : swap_desc list) : int =
+  List.fold_left (fun acc s -> acc + (s.depth * (s.z_hi - s.z_lo))) 0 swaps
+
 (** Total number of scalar elements exchanged per PE per swap. *)
-let exchange_volume (op : op) : int =
-  List.fold_left (fun acc s -> acc + (s.depth * (s.z_hi - s.z_lo))) 0 (swaps op)
+let exchange_volume (op : op) : int = sum_volume (swaps op)
+
+(** [wafer_swap input ~topology ~swaps] — the same grid-slice halo
+    exchange lifted one level up: [topology] is a [wx × wy] grid of
+    wafers and the descriptors name inter-wafer (not inter-PE)
+    exchanges.  The multiwafer decomposition pass emits these; volumes
+    and z-restriction reuse the intra-wafer machinery unchanged. *)
+let wafer_swap (input : value) ~(topology : int * int)
+    ~(swaps : swap_desc list) : op =
+  let w, h = topology in
+  create_op "dmp.wafer_swap" ~operands:[ input ] ~results:[ input.vtyp ]
+    ~attrs:
+      [
+        ("topo", Dense_ints [ w; h ]);
+        ("strategy", String_attr "wafer_grid_slice_2d");
+        ("swaps", swap_attr swaps);
+      ]
+
+let swap_like_verifier (name : string) (op : op) : unit =
+  if List.length op.operands <> 1 || List.length op.results <> 1 then
+    Verifier.fail "%s: exactly one operand and one result" name;
+  ignore (topology op);
+  ignore (swaps op)
 
 let () =
-  Verifier.register "dmp.swap" (fun op ->
-      if List.length op.operands <> 1 || List.length op.results <> 1 then
-        Verifier.fail "dmp.swap: exactly one operand and one result";
-      ignore (topology op);
-      ignore (swaps op))
+  Verifier.register "dmp.swap" (swap_like_verifier "dmp.swap");
+  Verifier.register "dmp.wafer_swap" (swap_like_verifier "dmp.wafer_swap")

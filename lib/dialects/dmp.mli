@@ -20,8 +20,17 @@ type swap_desc = { dir : direction; depth : int; z_lo : int; z_hi : int }
 val swap_attr : swap_desc list -> attr
 val swaps_of_attr : attr -> swap_desc list
 
+(** Scalar elements received per exchange: Σ depth × (z_hi − z_lo). *)
+val sum_volume : swap_desc list -> int
+
 (** Exchange the halos of a grid over a [w × h] PE topology. *)
 val swap : value -> topology:int * int -> swaps:swap_desc list -> op
+
+(** The same exchange lifted to a [wx × wy] grid of *wafers*
+    (strategy [wafer_grid_slice_2d]); emitted by the multiwafer
+    decomposition.  [topology] / [swaps] / [exchange_volume] read both
+    op forms. *)
+val wafer_swap : value -> topology:int * int -> swaps:swap_desc list -> op
 
 val topology : op -> int * int
 val swaps : op -> swap_desc list

@@ -16,12 +16,14 @@ type failure =
   | Pass_crash of { pass : string; msg : string }
   | Roundtrip of { pass : string; msg : string }
   | Mismatch of { tier : string; diff : float }
+  | Multiwafer of { wafers : string; diff : float }
   | Crash of { stage : string; msg : string }
 
 let failure_key = function
   | Pass_crash { pass; _ } -> "pass-crash:" ^ pass
   | Roundtrip { pass; _ } -> "roundtrip:" ^ pass
   | Mismatch { tier; _ } -> "mismatch:" ^ tier
+  | Multiwafer { wafers; _ } -> "multiwafer:" ^ wafers
   | Crash { stage; _ } -> "crash:" ^ stage
 
 let failure_to_string = function
@@ -30,6 +32,11 @@ let failure_to_string = function
   | Mismatch { tier; diff } ->
       Printf.sprintf "%s tier disagrees with the reference: max |diff| = %.3e"
         tier diff
+  | Multiwafer { wafers; diff } ->
+      Printf.sprintf
+        "%s-wafer co-simulation is not bit-identical to the single-wafer \
+         fabric: max |diff| = %.3e"
+        wafers diff
   | Crash { stage; msg } -> Printf.sprintf "%s stage crashed: %s" stage msg
 
 type report = {
@@ -109,8 +116,35 @@ let init_grids (p : P.t) : I.grid list =
 let max_diff (refs : I.grid list) (outs : I.grid list) : float =
   List.fold_left Float.max 0.0 (List.map2 I.max_abs_diff refs outs)
 
-let check ?(inject_bug = false) ?(machine = Wsc_wse.Machine.wse3) (p : P.t) :
-    report =
+(* ------------------------------------------------------------------ *)
+(* the multi-wafer tier                                                *)
+(* ------------------------------------------------------------------ *)
+
+module MW = Wsc_multiwafer.Cosim
+
+(** Run the program decomposed over [wafers] and demand the gathered
+    fields are *bit-identical* (not merely within tolerance) to the
+    single-wafer fabric's drained fields [outs]. *)
+let multiwafer_tier ~(machine : Wsc_wse.Machine.t) (p : P.t)
+    (outs : I.grid list) (wafers : int * int) : failure option =
+  let wx, wy = wafers in
+  let name = Printf.sprintf "%dx%d" wx wy in
+  match MW.run ~machine ~wafers p with
+  | exception e ->
+      Some (Crash { stage = "multiwafer-" ^ name; msg = Printexc.to_string e })
+  | r ->
+      if MW.grids_bit_identical outs r.MW.grids then None
+      else Some (Multiwafer { wafers = name; diff = max_diff outs r.MW.grids })
+
+(** The wafer grids worth fuzzing: the degenerate 1×1 (the decomposition
+    round-trips through the engine but nothing is sliced) and 2×1 when
+    the interior is wide enough to slice. *)
+let multiwafer_grids (p : P.t) : (int * int) list =
+  let nx, _, _ = p.P.extents in
+  (1, 1) :: (if nx >= 2 then [ (2, 1) ] else [])
+
+let check ?(inject_bug = false) ?(multiwafer = true)
+    ?(machine = Wsc_wse.Machine.wse3) (p : P.t) : report =
   Wsc_core.Csl_stencil_interp.register ();
   let fail ?ir_before ?ir_after f =
     { failure = Some f; ir_before; ir_after }
@@ -170,4 +204,24 @@ let check ?(inject_bug = false) ?(machine = Wsc_wse.Machine.wse3) (p : P.t) :
                             if Float.is_nan diff || diff >= tolerance then
                               fail ~ir_before:(Printer.op_to_string m2)
                                 (Mismatch { tier = "fabric"; diff })
-                            else { failure = None; ir_before = None; ir_after = None })))))
+                            else
+                              (* final tier: the multi-wafer path must
+                                 reproduce the single-wafer fabric bit
+                                 for bit (fuzzer programs are always
+                                 decomposable by construction) *)
+                              let mw_failure =
+                                if not multiwafer then None
+                                else
+                                  List.fold_left
+                                    (fun acc wafers ->
+                                      match acc with
+                                      | Some _ -> acc
+                                      | None ->
+                                          multiwafer_tier ~machine p outs wafers)
+                                    None (multiwafer_grids p)
+                              in
+                              (match mw_failure with
+                              | Some f ->
+                                  fail ~ir_before:(Printer.op_to_string m2) f
+                              | None ->
+                                  { failure = None; ir_before = None; ir_after = None }))))))

@@ -15,6 +15,9 @@ type failure =
   | Mismatch of { tier : string; diff : float }
       (** executions disagree beyond {!tolerance}; [tier] is ["interp"]
           or ["fabric"] *)
+  | Multiwafer of { wafers : string; diff : float }
+      (** the multi-wafer co-simulation is not *bit-identical* to the
+          single-wafer fabric ([wafers] is e.g. ["2x1"]) *)
   | Crash of { stage : string; msg : string }
       (** a non-pass stage raised: reference, interpreter, simulator *)
 
@@ -41,9 +44,13 @@ val tolerance : float
 (** Run all tiers.  [inject_bug] splices a deliberately wrong pass
     (["harden-test-bug"], perturbs the first float constant) between
     pipeline groups — test-only, for proving the harness catches
-    defects.  Never raises: every exception becomes a {!failure}. *)
+    defects.  [multiwafer] (default on) adds the final tier: the
+    program co-simulated on 1×1 and 2×1 wafer grids must drain fields
+    bit-identical to the single-wafer fabric.  Never raises: every
+    exception becomes a {!failure}. *)
 val check :
   ?inject_bug:bool ->
+  ?multiwafer:bool ->
   ?machine:Wsc_wse.Machine.t ->
   Wsc_frontends.Stencil_program.t ->
   report

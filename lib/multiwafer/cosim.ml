@@ -1,0 +1,185 @@
+(** Multi-wafer co-simulation — see the interface.
+
+    Execution is bulk-synchronous at wafer granularity: one BSP epoch
+    is one global timestep.  Each epoch, every wafer's subproblem is
+    rebuilt from the current global state (its interior plus a full
+    halo ring, so inter-wafer halos are exchanged through host memory
+    with perfect fidelity), simulated on its own domain, and its
+    interior gathered back.  Cells of the global halo ring keep their
+    initial values forever — exactly the single-wafer host's Dirichlet
+    boundary treatment — so the gathered fields are bit-identical to
+    the undecomposed simulation by construction, and the modeled
+    interconnect charges time without touching data. *)
+
+module P = Wsc_frontends.Stencil_program
+module I = Wsc_dialects.Interp
+module Printer = Wsc_ir.Printer
+module Pipeline = Wsc_core.Pipeline
+module Engine = Wsc_serve.Engine
+module Pool = Wsc_serve.Pool
+module Cache = Wsc_serve.Cache
+module Host = Wsc_wse.Host
+module Fabric = Wsc_wse.Fabric
+module Machine = Wsc_wse.Machine
+
+exception Cosim_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Cosim_error s)) fmt
+
+(* one domain per wafer, spawned once per co-simulation through the
+   serve pool — this counter pins the discipline in a regression test,
+   like Fabric.domains_spawned and Pool.domains_spawned *)
+let spawned = Atomic.make 0
+let domains_spawned () = Atomic.get spawned
+
+type t = {
+  plan : Decompose.plan;
+  grids : I.grid list;  (** gathered global state, [Host.read_all] shape *)
+  epochs : int;
+  device_cycles : float;  (** Σ over epochs of the slowest wafer's cycles *)
+  interconnect_s : float;  (** modeled inter-wafer exchange time *)
+  exchange_bytes : int;  (** bytes a real interconnect would have moved *)
+  cache : Cache.stats;  (** compile-engine cache counters after compiling *)
+  distinct_programs : int;  (** distinct per-wafer slice shapes *)
+  wall_s : float;
+}
+
+(** Freshly initialized state grids for [p] (the CLI / oracle init). *)
+let init_grids (p : P.t) : I.grid list =
+  let ft = P.field_type p in
+  List.map
+    (fun _ ->
+      let g3 = I.grid_of_typ ft in
+      I.init_grid g3;
+      I.retensorize_grid g3)
+    p.P.state
+
+(** Bit-exact comparison (not a tolerance): shape and every float's
+    bits. *)
+let grids_bit_identical (a : I.grid list) (b : I.grid list) : bool =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : I.grid) (y : I.grid) ->
+         x.I.gbounds = y.I.gbounds
+         && Array.length x.I.gdata = Array.length y.I.gdata
+         &&
+         let ok = ref true in
+         Array.iteri
+           (fun i v ->
+             if Int64.bits_of_float v <> Int64.bits_of_float y.I.gdata.(i) then
+               ok := false)
+           x.I.gdata;
+         !ok)
+       a b
+
+(** The undecomposed single-wafer run under the same pipeline options
+    and fabric driver — the bit-identity baseline. *)
+let reference ?driver ?(machine = Machine.wse3)
+    ?(options = Pipeline.default_options) (p : P.t) : I.grid list =
+  let compiled = Pipeline.compile ~options (P.compile p) in
+  let h = Host.simulate ?driver machine compiled (init_grids p) in
+  Host.read_all h
+
+let run ?engine ?(interconnect = Interconnect.default)
+    ?(machine = Machine.wse3) ?driver ~(wafers : int * int) (p : P.t) : t =
+  let t0 = Unix.gettimeofday () in
+  let pl = Decompose.plan ~wafers p in
+  let slices = Array.of_list pl.Decompose.slices in
+  let n = Array.length slices in
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let subs = Array.map (Decompose.subprogram pl) slices in
+  let distinct_programs =
+    Array.to_list subs
+    |> List.map (fun (s : P.t) -> s.P.extents)
+    |> List.sort_uniq compare |> List.length
+  in
+  (* one worker domain per wafer, spawned exactly once per co-simulation *)
+  let pool = Pool.create ~domains:n (fun _worker job -> job ()) in
+  ignore (Atomic.fetch_and_add spawned n);
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let par_iter (f : int -> unit) : unit =
+    let failed : exn option array = Array.make n None in
+    for i = 0 to n - 1 do
+      if not (Pool.submit pool (fun () ->
+                  try f i with e -> failed.(i) <- Some e))
+      then fail "worker pool rejected a job"
+    done;
+    Pool.drain pool;
+    Array.iter (function Some e -> raise e | None -> ()) failed
+  in
+  (* compile every wafer concurrently through the shared engine:
+     equal-extent slices key identically, so one compiles cold and the
+     rest are cache/single-flight dedup hits *)
+  let programs = Array.make n None in
+  par_iter (fun i ->
+      let src = Printer.op_to_string (P.compile subs.(i)) in
+      match (Engine.compile_source engine src).Engine.outcome with
+      | Ok c -> programs.(i) <- Some (snd (Pipeline.modules_of c.Engine.lowered))
+      | Error e ->
+          fail "wafer (%d,%d): compile failed: %s" slices.(i).Decompose.wi
+            slices.(i).Decompose.wj e.Engine.e_message);
+  let program i =
+    match programs.(i) with Some m -> m | None -> fail "wafer %d: no program" i
+  in
+  (* global state, including the Dirichlet halo ring that never moves *)
+  let globals = init_grids p in
+  let epochs = p.P.iterations in
+  let outs : I.grid list array = Array.make n [] in
+  let cycles = Array.make n 0.0 in
+  let device_cycles = ref 0.0 in
+  for _epoch = 1 to epochs do
+    par_iter (fun i ->
+        let s = slices.(i) in
+        (* the wafer's current view: interior and full halo ring copied
+           out of the global grids (neighbour interiors where a
+           neighbour owns them, initial boundary values elsewhere) *)
+        let sub_ft = P.field_type subs.(i) in
+        let view =
+          List.map
+            (fun gl ->
+              let g = I.retensorize_grid (I.grid_of_typ sub_ft) in
+              I.iter_points g.I.gbounds (fun pt ->
+                  match pt with
+                  | [ sx; sy ] ->
+                      I.grid_set g pt
+                        (I.grid_get gl [ s.Decompose.x0 + sx; s.Decompose.y0 + sy ])
+                  | _ -> assert false);
+              g)
+            globals
+        in
+        let h = Host.load machine (program i) view in
+        Host.run ?driver h;
+        outs.(i) <- Host.read_all h;
+        cycles.(i) <- Fabric.elapsed_cycles h.Host.sim);
+    (* gather: each wafer's interior back into the global grids (the
+       halo ring is untouched, preserving the Dirichlet boundary) *)
+    Array.iteri
+      (fun i out ->
+        let s = slices.(i) in
+        List.iter2
+          (fun gl oj ->
+            for sx = 0 to s.Decompose.snx - 1 do
+              for sy = 0 to s.Decompose.sny - 1 do
+                I.grid_set gl
+                  [ s.Decompose.x0 + sx; s.Decompose.y0 + sy ]
+                  (I.grid_get oj [ sx; sy ])
+              done
+            done)
+          globals out)
+      outs;
+    device_cycles := !device_cycles +. Array.fold_left Float.max 0.0 cycles
+  done;
+  (* the interconnect moves updated halos between consecutive epochs;
+     epoch 1 starts from locally computable initial data *)
+  let exchanges = max 0 (epochs - 1) in
+  {
+    plan = pl;
+    grids = globals;
+    epochs;
+    device_cycles = !device_cycles;
+    interconnect_s = float_of_int exchanges *. Interconnect.epoch_s interconnect pl;
+    exchange_bytes = exchanges * Interconnect.epoch_bytes pl;
+    cache = Engine.cache_stats engine;
+    distinct_programs;
+    wall_s = Unix.gettimeofday () -. t0;
+  }

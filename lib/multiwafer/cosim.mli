@@ -1,0 +1,64 @@
+(** Multi-wafer co-simulation: run one stencil problem decomposed over
+    a [(wx, wy)] grid of simulated wafers, one OCaml 5 domain per wafer
+    on the persistent serve pool, with per-wafer programs compiled
+    through the content-addressed compile engine (equal slices share
+    one cache entry; concurrent compiles single-flight) and a modeled
+    inter-wafer interconnect charged between BSP epochs.
+
+    Determinism: halos move through host memory between epochs, the
+    global boundary keeps the single-wafer Dirichlet values, and every
+    wafer runs the same per-step code the undecomposed program would —
+    so drained fields are bit-identical to the single-wafer simulation
+    (asserted by [wsc multiwafer], the oracle tier and the tests). *)
+
+module P = Wsc_frontends.Stencil_program
+module I = Wsc_dialects.Interp
+
+exception Cosim_error of string
+
+(** Worker domains ever spawned by co-simulations — exactly one per
+    wafer per run; pinned by a regression test (the
+    [Fabric.domains_spawned] / [Pool.domains_spawned] discipline). *)
+val domains_spawned : unit -> int
+
+type t = {
+  plan : Decompose.plan;
+  grids : I.grid list;  (** gathered global state, [Host.read_all] shape *)
+  epochs : int;
+  device_cycles : float;  (** Σ over epochs of the slowest wafer's cycles *)
+  interconnect_s : float;  (** modeled inter-wafer exchange time *)
+  exchange_bytes : int;  (** bytes a real interconnect would have moved *)
+  cache : Wsc_serve.Cache.stats;  (** engine cache counters after compiling *)
+  distinct_programs : int;  (** distinct per-wafer slice shapes *)
+  wall_s : float;
+}
+
+(** Freshly initialized state grids (the shared CLI / oracle init). *)
+val init_grids : P.t -> I.grid list
+
+(** Bit-exact equality: same shape, same bits in every float. *)
+val grids_bit_identical : I.grid list -> I.grid list -> bool
+
+(** The undecomposed single-wafer simulation of [p] — the baseline the
+    co-simulation must match bit for bit. *)
+val reference :
+  ?driver:Wsc_wse.Fabric.driver ->
+  ?machine:Wsc_wse.Machine.t ->
+  ?options:Wsc_core.Pipeline.options ->
+  P.t ->
+  I.grid list
+
+(** Run the co-simulation.  [engine] defaults to a fresh compile
+    engine (pass a shared one to reuse its cache across runs);
+    [driver] is the within-wafer fabric driver (default event-driven —
+    wafers already occupy one domain each).
+    @raise Decompose.Decompose_error when [p] cannot be decomposed
+    @raise Cosim_error when a wafer fails to compile *)
+val run :
+  ?engine:Wsc_serve.Engine.t ->
+  ?interconnect:Interconnect.t ->
+  ?machine:Wsc_wse.Machine.t ->
+  ?driver:Wsc_wse.Fabric.driver ->
+  wafers:int * int ->
+  P.t ->
+  t

@@ -1,0 +1,66 @@
+(** Wafer-level decomposition: one stencil program and a wafer-grid
+    shape [(wx, wy)] in, per-wafer subproblems and inter-wafer halo
+    exchanges out.  The exchanges reuse the intra-wafer
+    [Dmp.swap_desc] machinery — direction, per-direction depth from
+    the kernels' actual offsets, and the needed-columns-only z
+    restriction (paper §6.1) — lifted to wafer granularity. *)
+
+module P = Wsc_frontends.Stencil_program
+module Dmp = Wsc_dialects.Dmp
+
+exception Decompose_error of string
+
+(** One wafer's share: interior rectangle [x0, x0+snx) × [y0, y0+sny)
+    of the global interior, plus the halo exchanges it receives from
+    its wafer-grid neighbours (boundary wafers have no swap for the
+    missing side). *)
+type slice = {
+  wi : int;  (** wafer-grid column *)
+  wj : int;  (** wafer-grid row *)
+  x0 : int;
+  y0 : int;
+  snx : int;
+  sny : int;
+  swaps : Dmp.swap_desc list;
+}
+
+type plan = {
+  wafers : int * int;
+  program : P.t;  (** the undecomposed global program *)
+  slices : slice list;  (** row-major, length wx × wy *)
+  depth_west : int;
+  depth_east : int;
+  depth_north : int;
+  depth_south : int;
+  z_lo : int;  (** needed-columns z restriction, both inclusive bounds *)
+  z_hi : int;
+}
+
+(** Why a program can or cannot be stepped one epoch at a time across
+    wafers: remote reads must target state grids, and time must advance
+    one iteration per step ([use_loop] or a single iteration). *)
+val decomposable : P.t -> (unit, string) result
+
+(** Balanced 1-D split of [extent] into [parts] contiguous ranges
+    (start, width), widths differing by at most one. *)
+val split : int -> int -> (int * int) list
+
+(** @raise Decompose_error when the wafer grid does not fit or the
+    program is not decomposable. *)
+val plan : wafers:int * int -> P.t -> plan
+
+(** The slice's subproblem: the same kernels on the slice interior,
+    one timestep per BSP epoch.  Equal-extent slices produce equal
+    programs — and therefore one compile-cache entry. *)
+val subprogram : plan -> slice -> P.t
+
+(** Scalars the slice receives per epoch over all its swaps. *)
+val slice_exchange_scalars : slice -> int
+
+(** Per-epoch received scalars summed over every wafer. *)
+val exchange_scalars : plan -> int
+
+(** The plan rendered as IR: a [wafer_plan] function whose state fields
+    are marked with [dmp.wafer_swap] ops (wafer topology + the interior
+    wafer's descriptors); round-trips through the printer/parser. *)
+val plan_module : plan -> Wsc_ir.Ir.op

@@ -1,0 +1,22 @@
+(** Modeled inter-wafer interconnect: a latency + bandwidth charge per
+    BSP epoch, in the same coarse analytic style as the A100/ARCHER2
+    cluster baselines.  The co-simulator exchanges halos through host
+    memory (that is what makes the results bit-identical); this model
+    prices what a SwarmX-like fabric would charge for the same bytes. *)
+
+type t = { latency_s : float; bandwidth_bytes_per_s : float }
+
+(** ~2 µs latency, 150 GB/s per wafer. *)
+val default : t
+
+(** [exchange_s t ~bytes] — latency + bytes / bandwidth; 0 for 0 bytes. *)
+val exchange_s : t -> bytes:int -> float
+
+val bytes_per_scalar : int
+
+(** Per-epoch charge: the slowest wafer's receive time (links are
+    parallel across wafers). *)
+val epoch_s : t -> Decompose.plan -> float
+
+(** Total bytes received per epoch over all wafers. *)
+val epoch_bytes : Decompose.plan -> int

@@ -1,0 +1,216 @@
+(** Strong/weak wafer scaling — see the interface.
+
+    The model composes two measured/calibrated parts exactly the way
+    [Wsc_perf.Cluster] does for the GPU and CPU baselines: per-wafer
+    compute time is the simulator-measured steady-state cycles per
+    iteration (extent-independent: the program is SPMD, every PE owns
+    one z-column), and the per-epoch inter-wafer exchange is priced by
+    the [Interconnect] latency/bandwidth model on the byte volumes the
+    decomposition's [swap_desc]s imply. *)
+
+module B = Wsc_benchmarks.Benchmarks
+module Machine = Wsc_wse.Machine
+module Cluster = Wsc_perf.Cluster
+module J = Wsc_trace.Json
+
+type point = {
+  wafers : int * int;
+  n_wafers : int;
+  global : int * int * int;
+  per_wafer : int * int;  (** widest slice *)
+  feasible : bool;  (** every slice fits the machine's PE rectangle *)
+  compute_s : float;  (** per iteration *)
+  exchange_s : float;  (** per iteration, slowest wafer *)
+  t_iter_s : float;
+  gpts_per_s : float;
+  speedup : float;  (** vs the first (1-wafer) point *)
+  efficiency : float;  (** speedup / wafers (strong), t1/tN (weak) *)
+  exchange_bytes : int;  (** received per epoch, all wafers *)
+}
+
+type figure = {
+  mode : [ `Strong | `Weak ];
+  bench : string;
+  machine : string;
+  cycles_per_iter : float;
+  clock_hz : float;
+  interconnect : Interconnect.t;
+  points : point list;
+  baselines : (string * Cluster.cluster_measurement) list;
+}
+
+let default_wafer_grids = [ (1, 1); (2, 1); (2, 2); (4, 2); (4, 4) ]
+
+let baselines () =
+  [
+    ("tursa_128_a100", Cluster.tursa_128_a100 ());
+    ("archer2_128_nodes", Cluster.archer2_128_nodes ());
+  ]
+
+(** One scaling point: the global problem [gx × gy × z] decomposed over
+    [wafers]; compute per iteration is [cycles_per_iter / clock]. *)
+let point ~(interconnect : Interconnect.t) ~(machine : Machine.t)
+    ~(cycles_per_iter : float) (d : B.descr) ~(wafers : int * int)
+    ~(global : int * int) : point =
+  let wx, wy = wafers in
+  let gx, gy = global in
+  let p = d.B.make_n (B.Proxy (gx, gy)) 1 in
+  let pl = Decompose.plan ~wafers p in
+  let _, _, nz = p.Wsc_frontends.Stencil_program.extents in
+  let widest =
+    List.fold_left
+      (fun (mx, my) (s : Decompose.slice) ->
+        (max mx s.Decompose.snx, max my s.Decompose.sny))
+      (0, 0) pl.Decompose.slices
+  in
+  let feasible =
+    List.for_all
+      (fun (s : Decompose.slice) ->
+        s.Decompose.snx <= machine.Machine.max_width
+        && s.Decompose.sny <= machine.Machine.max_height)
+      pl.Decompose.slices
+  in
+  let compute_s = cycles_per_iter /. machine.Machine.clock_hz in
+  let exchange_s =
+    if wx * wy = 1 then 0.0 else Interconnect.epoch_s interconnect pl
+  in
+  let t_iter_s = compute_s +. exchange_s in
+  let points = float_of_int gx *. float_of_int gy *. float_of_int nz in
+  {
+    wafers;
+    n_wafers = wx * wy;
+    global = (gx, gy, nz);
+    per_wafer = widest;
+    feasible;
+    compute_s;
+    exchange_s;
+    t_iter_s;
+    gpts_per_s = points /. t_iter_s /. 1e9;
+    speedup = 1.0 (* filled against the first point below *);
+    efficiency = 1.0;
+    exchange_bytes = (if wx * wy = 1 then 0 else Interconnect.epoch_bytes pl);
+  }
+
+let with_ratios (mode : [ `Strong | `Weak ]) (points : point list) : point list =
+  match points with
+  | [] -> []
+  | p1 :: _ ->
+      List.map
+        (fun p ->
+          let speedup =
+            match mode with
+            | `Strong -> p1.t_iter_s /. p.t_iter_s
+            | `Weak -> p.gpts_per_s /. p1.gpts_per_s
+          in
+          let efficiency =
+            match mode with
+            | `Strong -> speedup /. float_of_int p.n_wafers
+            | `Weak -> p1.t_iter_s /. p.t_iter_s
+          in
+          { p with speedup; efficiency })
+        points
+
+(** Weak scaling: each wafer keeps the full [per_wafer] rectangle; the
+    global problem grows with the wafer grid. *)
+let weak ?(interconnect = Interconnect.default)
+    ?(wafer_grids = default_wafer_grids) ?per_wafer ~(machine : Machine.t)
+    ~(cycles_per_iter : float) (d : B.descr) : figure =
+  let pwx, pwy =
+    match per_wafer with
+    | Some e -> e
+    | None -> (machine.Machine.max_width, machine.Machine.max_height)
+  in
+  let points =
+    List.map
+      (fun (wx, wy) ->
+        point ~interconnect ~machine ~cycles_per_iter d ~wafers:(wx, wy)
+          ~global:(wx * pwx, wy * pwy))
+      wafer_grids
+  in
+  {
+    mode = `Weak;
+    bench = d.B.id;
+    machine = machine.Machine.name;
+    cycles_per_iter;
+    clock_hz = machine.Machine.clock_hz;
+    interconnect;
+    points = with_ratios `Weak points;
+    baselines = baselines ();
+  }
+
+(** Strong scaling: the global problem is fixed (default 2× the wafer
+    rectangle each way) and sliced ever finer. *)
+let strong ?(interconnect = Interconnect.default)
+    ?(wafer_grids = default_wafer_grids) ?global ~(machine : Machine.t)
+    ~(cycles_per_iter : float) (d : B.descr) : figure =
+  let gx, gy =
+    match global with
+    | Some e -> e
+    | None -> (2 * machine.Machine.max_width, 2 * machine.Machine.max_height)
+  in
+  let points =
+    List.map
+      (fun wafers ->
+        point ~interconnect ~machine ~cycles_per_iter d ~wafers ~global:(gx, gy))
+      wafer_grids
+  in
+  {
+    mode = `Strong;
+    bench = d.B.id;
+    machine = machine.Machine.name;
+    cycles_per_iter;
+    clock_hz = machine.Machine.clock_hz;
+    interconnect;
+    points = with_ratios `Strong points;
+    baselines = baselines ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let point_to_json (p : point) : J.t =
+  let wx, wy = p.wafers in
+  let gx, gy, gz = p.global in
+  let px, py = p.per_wafer in
+  J.Obj
+    [
+      ("wafers", J.String (Printf.sprintf "%dx%d" wx wy));
+      ("n_wafers", J.Int p.n_wafers);
+      ("global_extent", J.List [ J.Int gx; J.Int gy; J.Int gz ]);
+      ("per_wafer_extent", J.List [ J.Int px; J.Int py ]);
+      ("feasible", J.Bool p.feasible);
+      ("compute_s_per_iter", J.Float p.compute_s);
+      ("exchange_s_per_iter", J.Float p.exchange_s);
+      ("t_iter_s", J.Float p.t_iter_s);
+      ("gpts_per_s", J.Float p.gpts_per_s);
+      ("speedup", J.Float p.speedup);
+      ("efficiency", J.Float p.efficiency);
+      ("exchange_bytes_per_epoch", J.Int p.exchange_bytes);
+    ]
+
+let baseline_to_json ((name, c) : string * Cluster.cluster_measurement) : J.t =
+  J.Obj
+    [
+      ("name", J.String name);
+      ("devices", J.Int c.Cluster.devices);
+      ("grid_points", J.Float c.Cluster.grid_points);
+      ("gpts_per_s", J.Float c.Cluster.gpts_per_s);
+      ("time_per_iter_s", J.Float c.Cluster.time_per_iter_s);
+      ("memory_bound", J.Bool c.Cluster.memory_bound);
+    ]
+
+let to_json (f : figure) : J.t =
+  J.Obj
+    [
+      ("mode", J.String (match f.mode with `Strong -> "strong" | `Weak -> "weak"));
+      ("bench", J.String f.bench);
+      ("machine", J.String f.machine);
+      ("cycles_per_iter", J.Float f.cycles_per_iter);
+      ("clock_hz", J.Float f.clock_hz);
+      ("interconnect_latency_s", J.Float f.interconnect.Interconnect.latency_s);
+      ( "interconnect_bandwidth_bytes_per_s",
+        J.Float f.interconnect.Interconnect.bandwidth_bytes_per_s );
+      ("points", J.List (List.map point_to_json f.points));
+      ("baselines", J.List (List.map baseline_to_json f.baselines));
+    ]

@@ -1,0 +1,62 @@
+(** The paper's Figure 6 pushed past one wafer: strong/weak scaling of
+    an N-wafer WSE against the 128-GPU (Tursa A100) and 128-node
+    (ARCHER2) cluster models.  Per-wafer compute comes from the
+    simulator-measured steady-state cycles per iteration
+    ([Wsc_perf.Wse_perf.measure] — extent-independent, the program is
+    SPMD); the inter-wafer term prices the decomposition's halo volumes
+    through the {!Interconnect} model. *)
+
+module B = Wsc_benchmarks.Benchmarks
+module Cluster = Wsc_perf.Cluster
+
+type point = {
+  wafers : int * int;
+  n_wafers : int;
+  global : int * int * int;
+  per_wafer : int * int;  (** widest slice *)
+  feasible : bool;  (** every slice fits the machine's PE rectangle *)
+  compute_s : float;  (** per iteration *)
+  exchange_s : float;  (** per iteration, slowest wafer *)
+  t_iter_s : float;
+  gpts_per_s : float;
+  speedup : float;  (** vs the first (1-wafer) point *)
+  efficiency : float;
+  exchange_bytes : int;  (** received per epoch, all wafers *)
+}
+
+type figure = {
+  mode : [ `Strong | `Weak ];
+  bench : string;
+  machine : string;
+  cycles_per_iter : float;
+  clock_hz : float;
+  interconnect : Interconnect.t;
+  points : point list;
+  baselines : (string * Cluster.cluster_measurement) list;
+}
+
+val default_wafer_grids : (int * int) list
+
+(** Each wafer keeps the full [per_wafer] rectangle (default: the
+    machine's PE rectangle); the global problem grows with the grid. *)
+val weak :
+  ?interconnect:Interconnect.t ->
+  ?wafer_grids:(int * int) list ->
+  ?per_wafer:int * int ->
+  machine:Wsc_wse.Machine.t ->
+  cycles_per_iter:float ->
+  B.descr ->
+  figure
+
+(** Fixed global problem (default 2× the machine rectangle each way)
+    sliced over ever more wafers. *)
+val strong :
+  ?interconnect:Interconnect.t ->
+  ?wafer_grids:(int * int) list ->
+  ?global:int * int ->
+  machine:Wsc_wse.Machine.t ->
+  cycles_per_iter:float ->
+  B.descr ->
+  figure
+
+val to_json : figure -> Wsc_trace.Json.t

@@ -14,12 +14,16 @@ type ('v) node = {
 
 type 'v t = {
   lock : Mutex.t;
+  resolved : Condition.t;  (** an in-flight key was released *)
+  inflight : (string, unit) Hashtbl.t;  (** keys claimed, not yet released *)
   table : (string, 'v node) Hashtbl.t;
   capacity : int;
   mutable first : 'v node option;
   mutable last : 'v node option;
   mutable hits : int;
   mutable misses : int;
+  mutable dedup_hits : int;
+  mutable waiters : int;
   mutable insertions : int;
   mutable evictions : int;
 }
@@ -27,6 +31,7 @@ type 'v t = {
 type stats = {
   hits : int;
   misses : int;
+  dedup_hits : int;
   insertions : int;
   evictions : int;
   entries : int;
@@ -36,12 +41,16 @@ type stats = {
 let create ~capacity =
   {
     lock = Mutex.create ();
+    resolved = Condition.create ();
+    inflight = Hashtbl.create 8;
     table = Hashtbl.create 64;
     capacity = max 1 capacity;
     first = None;
     last = None;
     hits = 0;
     misses = 0;
+    dedup_hits = 0;
+    waiters = 0;
     insertions = 0;
     evictions = 0;
   }
@@ -91,27 +100,69 @@ let find (t : 'v t) (key : string) : 'v option =
           t.misses <- t.misses + 1;
           None)
 
+(* insert-or-replace under the lock (shared by [add] and [release]) *)
+let insert_locked (t : 'v t) (key : string) (value : 'v) : unit =
+  (match Hashtbl.find_opt t.table key with
+  | Some n ->
+      (* replacement: same key, fresher value (two workers racing on
+         the same miss land here; both computed the same bytes) *)
+      n.n_value <- value;
+      unlink t n;
+      push_front t n
+  | None ->
+      let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n);
+  t.insertions <- t.insertions + 1;
+  evict_to_capacity t
+
 let add (t : 'v t) (key : string) (value : 'v) : unit =
+  locked t (fun () -> insert_locked t key value)
+
+(* ---- single-flight protocol ---- *)
+
+let acquire (t : 'v t) (key : string) : [ `Hit of 'v | `Dedup of 'v | `Claimed ] =
   locked t (fun () ->
-      (match Hashtbl.find_opt t.table key with
-      | Some n ->
-          (* replacement: same key, fresher value (two workers racing on
-             the same miss land here; both computed the same bytes) *)
-          n.n_value <- value;
-          unlink t n;
-          push_front t n
-      | None ->
-          let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
-          Hashtbl.replace t.table key n;
-          push_front t n);
-      t.insertions <- t.insertions + 1;
-      evict_to_capacity t)
+      let rec loop ~deduped =
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            t.hits <- t.hits + 1;
+            if deduped then t.dedup_hits <- t.dedup_hits + 1;
+            unlink t n;
+            push_front t n;
+            if deduped then `Dedup n.n_value else `Hit n.n_value
+        | None ->
+            if Hashtbl.mem t.inflight key then begin
+              (* someone else is compiling this key: block until they
+                 release, then re-examine (their success is our dedup
+                 hit; their failure sends us back to claim) *)
+              t.waiters <- t.waiters + 1;
+              Condition.wait t.resolved t.lock;
+              t.waiters <- t.waiters - 1;
+              loop ~deduped:true
+            end
+            else begin
+              t.misses <- t.misses + 1;
+              Hashtbl.replace t.inflight key ();
+              `Claimed
+            end
+      in
+      loop ~deduped:false)
+
+let release (t : 'v t) (key : string) (value : 'v option) : unit =
+  locked t (fun () ->
+      Hashtbl.remove t.inflight key;
+      (match value with Some v -> insert_locked t key v | None -> ());
+      Condition.broadcast t.resolved)
+
+let waiters (t : 'v t) : int = locked t (fun () -> t.waiters)
 
 let stats (t : 'v t) : stats =
   locked t (fun () ->
       {
         hits = t.hits;
         misses = t.misses;
+        dedup_hits = t.dedup_hits;
         insertions = t.insertions;
         evictions = t.evictions;
         entries = Hashtbl.length t.table;

@@ -8,7 +8,14 @@
     domains share one cache directly.  A lookup bumps recency; when an
     insertion pushes the population past [capacity], least-recently-used
     entries are evicted.  Hit / miss / insertion / eviction counters are
-    monotonic over the cache's lifetime and survive evictions. *)
+    monotonic over the cache's lifetime and survive evictions.
+
+    Single-flight: {!acquire} / {!release} collapse concurrent misses on
+    one key into a single compile — the first caller claims the key and
+    computes, later callers block on the cache's condition variable and
+    are served the claimer's result ([dedup_hits] counts those).  A
+    claimer that fails releases [None], waking the waiters to re-claim,
+    so a transient failure never wedges a key. *)
 
 type 'v t
 
@@ -16,7 +23,10 @@ type 'v t
     [capacity] always holds after every operation. *)
 type stats = {
   hits : int;
-  misses : int;
+  misses : int;  (** lookups that went on to compute (claims included) *)
+  dedup_hits : int;
+      (** hits served by blocking on another caller's in-flight compute;
+          every dedup hit is also counted in [hits] *)
   insertions : int;  (** includes replacements of a live key *)
   evictions : int;  (** LRU entries dropped by capacity pressure *)
   entries : int;
@@ -32,6 +42,23 @@ val find : 'v t -> string -> 'v option
 (** Insert (or replace) and make most-recent, evicting from the LRU end
     until the population fits. *)
 val add : 'v t -> string -> 'v -> unit
+
+(** Single-flight lookup.  [`Hit v] — cached, counted as a hit.
+    [`Claimed] — a miss this caller now owns: it must compute the value
+    and call {!release} exactly once (on every path, including
+    exceptions).  [`Dedup v] — this caller blocked on another's claim
+    and got its value; counted as a hit and a dedup hit. *)
+val acquire : 'v t -> string -> [ `Hit of 'v | `Dedup of 'v | `Claimed ]
+
+(** End a claim: [Some v] inserts the value and serves every waiter,
+    [None] (the compute failed) wakes them to re-claim.  Without a
+    matching {!acquire} claim this still inserts/wakes, making it safe
+    to call from cleanup handlers. *)
+val release : 'v t -> string -> 'v option -> unit
+
+(** Callers currently blocked inside {!acquire} — observability for the
+    deterministic single-flight tests. *)
+val waiters : 'v t -> int
 
 val stats : 'v t -> stats
 

@@ -29,6 +29,7 @@ type compiled = {
   key : string;
   canonical_bytes : int;
   files : (string * string) list;
+  lowered : Wsc_ir.Ir.op;
   remarks : Pass.remark list;
   ops_in : int;
   ops_out : int;
@@ -170,11 +171,20 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
             (Error
                { e_kind = Timeout; e_message = "compile deadline exceeded" })
         else
-          match Cache.find t.cache key with
-          | Some c ->
+          match Cache.acquire t.cache key with
+          | `Hit c | `Dedup c ->
+              (* a dedup hit blocked on another worker's in-flight compile
+                 and got its bytes — to the requester it is a plain hit *)
               let t_compiled = Unix.gettimeofday () in
               finish ~cache:(Some `Hit) ~t_parsed ~t_compiled (Ok c)
-          | None -> (
+          | `Claimed -> (
+              (* single-flight: this worker owns the key until release *)
+              let fail_released e =
+                Cache.release t.cache key None;
+                let t_compiled = Unix.gettimeofday () in
+                finish ~cache:(Some `Miss) ~t_parsed ~t_compiled
+                  (Error (error_of_exn e))
+              in
               let remarks = ref [] in
               let pass_options =
                 {
@@ -188,16 +198,11 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
                 }
               in
               match Pipeline.compile ~options:opts ~pass_options m with
-              | exception e ->
-                  let t_compiled = Unix.gettimeofday () in
-                  finish ~cache:(Some `Miss) ~t_parsed ~t_compiled
-                    (Error (error_of_exn e))
+              | exception e -> fail_released e
               | lowered -> (
                   let t_compiled = Unix.gettimeofday () in
                   match Wsc_core.Csl_printer.print_files lowered with
-                  | exception e ->
-                      finish ~cache:(Some `Miss) ~t_parsed ~t_compiled
-                        (Error (error_of_exn e))
+                  | exception e -> fail_released e
                   | files ->
                       let files =
                         List.map
@@ -222,13 +227,14 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
                           key;
                           canonical_bytes = String.length canonical;
                           files;
+                          lowered;
                           remarks;
                           ops_in;
                           ops_out;
                           cold_wall_s = t_emitted -. t_start;
                         }
                       in
-                      Cache.add t.cache key c;
+                      Cache.release t.cache key (Some c);
                       finish ~cache:(Some `Miss) ~t_parsed ~t_compiled (Ok c))))
 
 (* ------------------------------------------------------------------ *)

@@ -13,6 +13,11 @@
     so cached responses are byte-identical to cold ones by construction.
     Failures are never cached: every error response is recomputed.
 
+    Concurrent misses on one key are single-flight ({!Cache.acquire}):
+    one worker compiles, the others block and are served its record —
+    reported to them as a plain cache hit, counted separately in
+    [Cache.stats.dedup_hits].
+
     Timeouts are cooperative: the deadline is checked after parsing and
     at every pass boundary (via [Pass.options.on_ir]), bounding a
     pathological request to roughly one pass beyond its budget rather
@@ -35,6 +40,11 @@ type compiled = {
   key : string;  (** content-addressed cache key (hex digest) *)
   canonical_bytes : int;  (** length of the canonical module text *)
   files : (string * string) list;  (** CSL output: filename, contents *)
+  lowered : Wsc_ir.Ir.op;
+      (** the fully lowered module (layout + program csl modules) — kept
+          so simulation clients (the multiwafer co-simulator) can run a
+          cached compile without reparsing; treat as read-only, it is
+          shared across every hit for the key *)
   remarks : Wsc_ir.Pass.remark list;  (** per-pass wall time and op deltas *)
   ops_in : int;  (** module ops entering the pipeline *)
   ops_out : int;  (** ops in the fully lowered module *)

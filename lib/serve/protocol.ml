@@ -282,6 +282,7 @@ let stats_response ~(id : int) ~(engine : Engine.t) ~(uptime_s : float) : J.t =
               [
                 ("hits", J.Int s.Cache.hits);
                 ("misses", J.Int s.Cache.misses);
+                ("dedup_hits", J.Int s.Cache.dedup_hits);
                 ("insertions", J.Int s.Cache.insertions);
                 ("evictions", J.Int s.Cache.evictions);
                 ("entries", J.Int s.Cache.entries);

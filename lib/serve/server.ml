@@ -266,10 +266,11 @@ let run (cfg : config) : int =
     let s = Engine.cache_stats engine in
     Printf.eprintf
       "wsc serve: %d request(s) read, %d compiled ok, %d error(s); cache %d \
-       hit / %d miss / %d evicted (hit-rate %.1f%%, %d/%d entries); uptime \
-       %.1f s\n\
+       hit (%d dedup) / %d miss / %d evicted (hit-rate %.1f%%, %d/%d \
+       entries); uptime %.1f s\n\
        %!"
-      !served ok errors s.Cache.hits s.Cache.misses s.Cache.evictions
+      !served ok errors s.Cache.hits s.Cache.dedup_hits s.Cache.misses
+      s.Cache.evictions
       (100.0 *. Cache.hit_rate s)
       s.Cache.entries s.Cache.capacity
       (Unix.gettimeofday () -. epoch);

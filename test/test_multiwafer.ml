@@ -1,0 +1,231 @@
+(* Tests for the multi-wafer subsystem (lib/multiwafer): the balanced
+   split, the decomposition plan's geometry and boundary-trimmed swaps,
+   the dmp exchange-volume identity (property-based), the plan-IR
+   round trip, bit-identity of the co-simulation against the
+   single-wafer fabric on representative benchmarks, slice-shape dedup
+   through the shared compile-engine cache, and the one-domain-per-
+   wafer spawn discipline. *)
+
+open Wsc_ir.Ir
+module B = Wsc_benchmarks.Benchmarks
+module P = Wsc_frontends.Stencil_program
+module D = Wsc_multiwafer.Decompose
+module MW = Wsc_multiwafer.Cosim
+module Dmp = Wsc_dialects.Dmp
+module Cache = Wsc_serve.Cache
+module Printer = Wsc_ir.Printer
+module Parser = Wsc_ir.Parser
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* split                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_split () =
+  Alcotest.(check (list (pair int int))) "even" [ (0, 2); (2, 2) ] (D.split 4 2);
+  Alcotest.(check (list (pair int int)))
+    "uneven" [ (0, 3); (3, 2); (5, 2) ] (D.split 7 3);
+  (* tiles the extent, contiguous, widths differ by at most one *)
+  List.iter
+    (fun (extent, parts) ->
+      let ranges = D.split extent parts in
+      checki "parts" parts (List.length ranges);
+      let widths = List.map snd ranges in
+      let wmin = List.fold_left min extent widths in
+      let wmax = List.fold_left max 0 widths in
+      check "balanced" true (wmax - wmin <= 1);
+      checki "covers" extent (List.fold_left ( + ) 0 widths);
+      ignore
+        (List.fold_left
+           (fun expect (x0, w) ->
+             checki "contiguous" expect x0;
+             x0 + w)
+           0 ranges))
+    [ (4, 2); (5, 2); (7, 3); (9, 4); (16, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* plan geometry and swap trimming                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_geometry () =
+  let p = B.jacobian B.Tiny in
+  let nx, ny, _ = p.P.extents in
+  let pl = D.plan ~wafers:(2, 2) p in
+  checki "slices" 4 (List.length pl.D.slices);
+  (* every interior cell is owned by exactly one slice *)
+  let owner = Array.make (nx * ny) 0 in
+  List.iter
+    (fun (s : D.slice) ->
+      for x = s.D.x0 to s.D.x0 + s.D.snx - 1 do
+        for y = s.D.y0 to s.D.y0 + s.D.sny - 1 do
+          owner.((y * nx) + x) <- owner.((y * nx) + x) + 1
+        done
+      done)
+    pl.D.slices;
+  Array.iter (fun n -> checki "owned once" 1 n) owner;
+  (* jacobian reads state at |dx|,|dy| <= 1: interior depths are 1 *)
+  checki "depth west" 1 pl.D.depth_west;
+  checki "depth east" 1 pl.D.depth_east;
+  checki "depth north" 1 pl.D.depth_north;
+  checki "depth south" 1 pl.D.depth_south;
+  (* boundary wafers have no swap for the missing neighbour *)
+  let dirs (s : D.slice) = List.map (fun (d : Dmp.swap_desc) -> d.Dmp.dir) s.D.swaps in
+  List.iter
+    (fun (s : D.slice) ->
+      let ds = dirs s in
+      check "west edge trimmed" true (List.mem Dmp.West ds = (s.D.wi > 0));
+      check "east edge trimmed" true (List.mem Dmp.East ds = (s.D.wi < 1));
+      check "north edge trimmed" true (List.mem Dmp.North ds = (s.D.wj > 0));
+      check "south edge trimmed" true (List.mem Dmp.South ds = (s.D.wj < 1)))
+    pl.D.slices;
+  (* exchange accounting: global = Σ per-slice *)
+  checki "exchange sum" (D.exchange_scalars pl)
+    (List.fold_left (fun acc s -> acc + D.slice_exchange_scalars s) 0 pl.D.slices);
+  (* equal slices produce equal subprograms (one compile-cache entry) *)
+  let subs = List.map (D.subprogram pl) pl.D.slices in
+  checki "one distinct subprogram" 1
+    (List.length (List.sort_uniq compare (List.map (fun q -> q.P.extents) subs)))
+
+let test_plan_rejections () =
+  let p = B.jacobian B.Tiny in
+  (* wafer grid wider than the interior *)
+  (match D.plan ~wafers:(64, 1) p with
+  | exception D.Decompose_error _ -> ()
+  | _ -> Alcotest.fail "expected Decompose_error for an oversized grid");
+  (* straight-line multi-iteration programs fuse across timesteps *)
+  let fused = { p with P.use_loop = false; iterations = 3 } in
+  check "decomposable says no" true
+    (match D.decomposable fused with Error _ -> true | Ok () -> false);
+  match D.plan ~wafers:(2, 1) fused with
+  | exception D.Decompose_error _ -> ()
+  | _ -> Alcotest.fail "expected Decompose_error for a fused program"
+
+let test_plan_module_roundtrip () =
+  List.iter
+    (fun id ->
+      let d = B.find id in
+      let pl = D.plan ~wafers:(2, 2) (d.B.make B.Tiny) in
+      let m = D.plan_module pl in
+      Wsc_ir.Verifier.verify m;
+      let s1 = Printer.op_to_string m in
+      let s2 = Printer.op_to_string (Parser.parse_string s1) in
+      check (id ^ " plan module fixpoint") true (String.equal s1 s2);
+      (* the printed plan mentions the wafer-level op *)
+      check (id ^ " has wafer_swap") true
+        (let re = "dmp.wafer_swap" in
+         let len = String.length re in
+         let rec find i =
+           i + len <= String.length s1 && (String.sub s1 i len = re || find (i + 1))
+         in
+         find 0))
+    [ "jacobian"; "seismic" ]
+
+(* ------------------------------------------------------------------ *)
+(* exchange volume property                                            *)
+(* ------------------------------------------------------------------ *)
+
+let swap_gen : Dmp.swap_desc QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* dir = oneofl Dmp.all_directions in
+  let* depth = int_range 1 4 in
+  let* z_lo = int_range 0 8 in
+  let* z_len = int_range 0 8 in
+  return { Dmp.dir; depth; z_lo; z_hi = z_lo + z_len }
+
+let prop_exchange_volume =
+  QCheck.Test.make ~name:"exchange_volume = Σ depth×(z_hi−z_lo)" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 6) swap_gen))
+    (fun swaps ->
+      let expect =
+        List.fold_left
+          (fun acc (s : Dmp.swap_desc) -> acc + (s.Dmp.depth * (s.Dmp.z_hi - s.Dmp.z_lo)))
+          0 swaps
+      in
+      let t = new_value (Temp ([ (0, 4); (0, 4) ], Tensor ([ 10 ], F32))) in
+      Dmp.sum_volume swaps = expect
+      && Dmp.exchange_volume (Dmp.swap t ~topology:(4, 4) ~swaps) = expect
+      && Dmp.exchange_volume (Dmp.wafer_swap t ~topology:(2, 2) ~swaps) = expect)
+
+(* ------------------------------------------------------------------ *)
+(* co-simulation bit-identity                                          *)
+(* ------------------------------------------------------------------ *)
+
+let engine = lazy (Wsc_serve.Engine.create ())
+
+let run_identical id wafers =
+  let d = B.find id in
+  let p = d.B.make B.Tiny in
+  let refs = MW.reference p in
+  let r = MW.run ~engine:(Lazy.force engine) ~wafers p in
+  check
+    (Printf.sprintf "%s %dx%d bit-identical" id (fst wafers) (snd wafers))
+    true
+    (MW.grids_bit_identical refs r.MW.grids);
+  r
+
+let test_bit_identity_jacobian () =
+  ignore (run_identical "jacobian" (2, 1));
+  ignore (run_identical "jacobian" (2, 2))
+
+let test_bit_identity_uvkbe () = ignore (run_identical "uvkbe" (2, 2))
+
+(* seismic reads 4 deep: the halo is wider than a 2-wide slice is far
+   from its neighbour, exercising deep-halo copies from the globals *)
+let test_bit_identity_seismic () = ignore (run_identical "seismic" (2, 1))
+
+let test_cosim_cache_dedup () =
+  let e = Lazy.force engine in
+  let s0 = Wsc_serve.Engine.cache_stats e in
+  let d = B.find "diffusion" in
+  let r = MW.run ~engine:e ~wafers:(2, 2) (d.B.make B.Tiny) in
+  let s1 = r.MW.cache in
+  (* Tiny is 4×4 over 2×2 wafers: all four slices are 2×2, one program *)
+  checki "one distinct slice shape" 1 r.MW.distinct_programs;
+  checki "one cold compile" 1 (s1.Cache.misses - s0.Cache.misses);
+  checki "three cache hits" 3 (s1.Cache.hits - s0.Cache.hits);
+  (* re-running hits the shared engine's cache for every wafer *)
+  let r2 = MW.run ~engine:e ~wafers:(2, 2) (d.B.make B.Tiny) in
+  let s2 = r2.MW.cache in
+  checki "warm re-run misses" 0 (s2.Cache.misses - s1.Cache.misses);
+  checki "warm re-run hits" 4 (s2.Cache.hits - s1.Cache.hits)
+
+let test_one_domain_per_wafer () =
+  let before = MW.domains_spawned () in
+  let d = B.find "jacobian" in
+  ignore (MW.run ~engine:(Lazy.force engine) ~wafers:(2, 1) (d.B.make B.Tiny));
+  checki "2x1 spawns two domains" (before + 2) (MW.domains_spawned ());
+  ignore (MW.run ~engine:(Lazy.force engine) ~wafers:(2, 2) (d.B.make B.Tiny));
+  checki "2x2 spawns four more" (before + 6) (MW.domains_spawned ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "multiwafer"
+    [
+      ( "decompose",
+        [
+          Alcotest.test_case "balanced split" `Quick test_split;
+          Alcotest.test_case "plan geometry and swap trimming" `Quick
+            test_plan_geometry;
+          Alcotest.test_case "infeasible and fused programs rejected" `Quick
+            test_plan_rejections;
+          Alcotest.test_case "plan module round-trips" `Quick
+            test_plan_module_roundtrip;
+        ] );
+      ("dmp", [ QCheck_alcotest.to_alcotest prop_exchange_volume ]);
+      ( "cosim",
+        [
+          Alcotest.test_case "jacobian bit-identical (2x1, 2x2)" `Quick
+            test_bit_identity_jacobian;
+          Alcotest.test_case "uvkbe bit-identical (2x2)" `Quick
+            test_bit_identity_uvkbe;
+          Alcotest.test_case "seismic deep-halo bit-identical (2x1)" `Quick
+            test_bit_identity_seismic;
+          Alcotest.test_case "equal slices share one cache entry" `Quick
+            test_cosim_cache_dedup;
+          Alcotest.test_case "one domain per wafer" `Quick
+            test_one_domain_per_wafer;
+        ] );
+    ]

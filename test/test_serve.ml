@@ -1,5 +1,6 @@
 (* Tests for the compile service (lib/serve): the LRU cache's counters
-   and eviction order, the persistent worker pool's spawn discipline and
+   and eviction order, single-flight dedup of concurrent misses on one
+   key, the persistent worker pool's spawn discipline and
    failure propagation, the content-addressed cache key's invariance
    under the print/parse fixpoint, byte-identity of cache hits at 1/2/4
    domains, the JSON-lines protocol, per-request timeouts, corpus
@@ -40,6 +41,67 @@ let test_cache_basics () =
   checki "entries" 2 s.S.Cache.entries;
   check "entries <= capacity" true (s.S.Cache.entries <= s.S.Cache.capacity);
   check "hit rate" true (abs_float (S.Cache.hit_rate s -. (3.0 /. 5.0)) < 1e-9)
+
+(** Spin until [c] has a blocked waiter (bounded; the waiter domain is
+    between [acquire] and being woken). *)
+let wait_for_waiter c =
+  let rec go n =
+    if S.Cache.waiters c = 0 then
+      if n = 0 then Alcotest.fail "waiter never blocked"
+      else begin
+        Unix.sleepf 0.001;
+        go (n - 1)
+      end
+  in
+  go 2000
+
+let test_cache_single_flight () =
+  let c = S.Cache.create ~capacity:4 in
+  (* first caller claims the key: counted as the one miss *)
+  (match S.Cache.acquire c "k" with
+  | `Claimed -> ()
+  | `Hit _ | `Dedup _ -> Alcotest.fail "first acquire must claim");
+  (* a concurrent caller blocks until the claimant releases *)
+  let d =
+    Domain.spawn (fun () ->
+        match S.Cache.acquire c "k" with
+        | `Dedup v -> v
+        | `Hit _ -> Alcotest.fail "in-flight value must arrive as `Dedup"
+        | `Claimed -> Alcotest.fail "second acquire must not re-claim")
+  in
+  wait_for_waiter c;
+  S.Cache.release c "k" (Some 42);
+  checki "served the in-flight value" 42 (Domain.join d);
+  let s = S.Cache.stats c in
+  checki "one miss (the claim)" 1 s.S.Cache.misses;
+  checki "dedup counted as a hit" 1 s.S.Cache.hits;
+  checki "and separately as a dedup hit" 1 s.S.Cache.dedup_hits;
+  checki "no waiter left" 0 (S.Cache.waiters c);
+  (* once resolved, later acquires are plain hits, not dedups *)
+  (match S.Cache.acquire c "k" with
+  | `Hit 42 -> ()
+  | _ -> Alcotest.fail "resolved key must be a plain hit");
+  checki "plain hit is not a dedup" 1 (S.Cache.stats c).S.Cache.dedup_hits
+
+let test_cache_single_flight_failure () =
+  let c = S.Cache.create ~capacity:4 in
+  (match S.Cache.acquire c "k" with
+  | `Claimed -> ()
+  | _ -> Alcotest.fail "first acquire must claim");
+  let d = Domain.spawn (fun () -> S.Cache.acquire c "k") in
+  wait_for_waiter c;
+  (* the claimant's compute failed: nothing cached, a waiter re-claims *)
+  S.Cache.release c "k" None;
+  (match Domain.join d with
+  | `Claimed -> ()
+  | `Hit _ | `Dedup _ -> Alcotest.fail "waiter must re-claim after a failure");
+  S.Cache.release c "k" (Some 7);
+  (match S.Cache.acquire c "k" with
+  | `Hit 7 -> ()
+  | _ -> Alcotest.fail "retry's value must be cached");
+  let s = S.Cache.stats c in
+  checki "both claims are misses" 2 s.S.Cache.misses;
+  checki "no dedup on the failure path" 0 s.S.Cache.dedup_hits
 
 let test_cache_replace_and_clamp () =
   let c = S.Cache.create ~capacity:0 in
@@ -323,9 +385,6 @@ let test_corpus_deterministic () =
 let test_batch_repeat_hits () =
   let dir = tmpdir "wsc-batch" in
   let paths = H.Corpus.emit ~dir ~seed:3 ~count:3 in
-  (* exact counters need one domain: concurrent workers may both miss
-     on the same key when a repeat races its first compile (the cache
-     is thread-safe but deliberately not single-flight) *)
   let cfg = { S.Batch.default_config with S.Batch.domains = 1; repeat = 2 } in
   let r = S.Batch.run cfg paths in
   checki "total" 6 r.S.Batch.rp_total;
@@ -333,14 +392,16 @@ let test_batch_repeat_hits () =
   checki "errors" 0 r.S.Batch.rp_errors;
   checki "cache hits" 3 r.S.Batch.rp_cache.S.Cache.hits;
   checki "cache misses" 3 r.S.Batch.rp_cache.S.Cache.misses;
-  (* concurrently, the weaker invariants still hold: everything
-     compiles and repeats produce a non-zero hit-rate *)
+  (* concurrent misses on one key are single-flight ([Cache.acquire]),
+     so the hit/miss totals stay exact with racing workers too — a
+     repeat that races its first compile blocks and is served the
+     in-flight record, counted as a (dedup) hit, never a second miss *)
   let rc =
     S.Batch.run { cfg with S.Batch.domains = 2; repeat = 3 } paths
   in
   checki "concurrent ok" 9 rc.S.Batch.rp_ok;
-  check "concurrent hit-rate > 0" true
-    (S.Cache.hit_rate rc.S.Batch.rp_cache > 0.0);
+  checki "concurrent misses stay exact" 3 rc.S.Batch.rp_cache.S.Cache.misses;
+  checki "concurrent hits stay exact" 6 rc.S.Batch.rp_cache.S.Cache.hits;
   (* unreadable files are io entries, not crashes *)
   let r2 =
     S.Batch.run
@@ -466,6 +527,10 @@ let () =
           Alcotest.test_case "lru basics and counters" `Quick test_cache_basics;
           Alcotest.test_case "replace and capacity clamp" `Quick
             test_cache_replace_and_clamp;
+          Alcotest.test_case "single-flight dedup of concurrent misses" `Quick
+            test_cache_single_flight;
+          Alcotest.test_case "failed compute wakes waiters to re-claim" `Quick
+            test_cache_single_flight_failure;
         ] );
       ( "pool",
         [
