@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- one experiment
      experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations weak sched
-                  par serve perfsmoke trace micro multiwafer
+                  par serve perfsmoke trace micro multiwafer mwfaults
 
    Absolute numbers come from the fabric simulator and the calibrated
    machine models (see DESIGN.md); the claims under reproduction are the
@@ -981,6 +981,144 @@ let multiwafer () =
 
 (* ------------------------------------------------------------------ *)
 
+(** PR 9 experiment: wafer-level fault tolerance.  Every benchmark at
+    2x1 and 2x2 wafers under seeded halo-drop / halo-corrupt / crash
+    injection with checkpoint/rollback recovery on — the recovered
+    fields must stay bit-identical to the fault-free single-wafer run
+    (exit 1 on any mismatch), and the JSON records what recovery cost:
+    replayed epochs and device cycles beyond the fault-free
+    co-simulation, checkpoint count and bytes.  One loss leg per grid
+    demonstrates graceful degradation (dead + tainted wafers reported,
+    no identity claim).  PR 6 honesty rules: cores ride along and
+    oversubscribed legs are flagged. *)
+let mwfaults () =
+  header
+    "Wafer-level fault tolerance: inter-wafer fault injection with\n\
+     checkpoint/rollback recovery; recovered fields must be\n\
+     bit-identical to the fault-free single-wafer run";
+  let module J = Wsc_trace.Json in
+  let module MC = Wsc_multiwafer.Mwcampaign in
+  let module Wf = Wsc_faults.Faults.Wafer in
+  let machine = Machine.wse3 in
+  let cores = Domain.recommended_domain_count () in
+  let mismatches = ref 0 in
+  let rows = ref [] in
+  Printf.printf "%d core(s) available (Domain.recommended_domain_count)\n\n"
+    cores;
+  Printf.printf "%-10s %6s %-12s %4s %4s %4s %6s %5s %9s %9s\n" "benchmark"
+    "wafers" "kind" "inj" "det" "rbk" "replay" "ckpt" "overhead" "identical";
+  (* one engine across every leg: each slice shape compiles once for
+     the whole experiment, and respawned wafers always hit the cache *)
+  let engine = Wsc_serve.Engine.create () in
+  List.iter
+    (fun (d : B.descr) ->
+      List.iter
+        (fun (wx, wy) ->
+          let domains = wx * wy in
+          let oversubscribed = domains > cores in
+          let report =
+            MC.run ~engine ~machine ~bench:d.id ~size:B.Tiny ~wafers:(wx, wy)
+              ~kinds:[ Wf.Halo_drop; Wf.Halo_corrupt; Wf.Crash ]
+              ~resilient:true ~rates:[ 0.1; 0.25 ] ~seeds:[ 1 ] ()
+          in
+          (* one loss cell per grid: permanent wafer loss must degrade
+             gracefully (report, not crash), so it carries no identity
+             demand *)
+          let loss =
+            MC.run ~engine ~machine ~bench:d.id ~size:B.Tiny ~wafers:(wx, wy)
+              ~kinds:[ Wf.Loss ] ~resilient:true ~rates:[ 0.1; 0.25 ] ~seeds:[ 1 ]
+              ()
+          in
+          let cell_row recovery_demanded (c : MC.cell) =
+            let broken =
+              recovery_demanded
+              && ((c.MC.completed && (not c.MC.degraded)
+                   && not c.MC.bit_identical)
+                  || c.MC.error <> None)
+            in
+            if broken then begin
+              incr mismatches;
+              Printf.printf "    RECOVERY NOT BIT-IDENTICAL: %s %s %s\n" d.id
+                (Printf.sprintf "%dx%d" wx wy)
+                (Wf.kind_to_string c.MC.kind)
+            end;
+            Printf.printf "%-10s %6s %-12s %4d %4d %4d %6d %5d %9.0f %9s\n"
+              d.id
+              (Printf.sprintf "%dx%d" wx wy)
+              (Wf.kind_to_string c.MC.kind)
+              c.MC.injected c.MC.detections c.MC.rollbacks
+              c.MC.replayed_epochs c.MC.checkpoints
+              (if Float.is_nan c.MC.overhead_cycles then 0.0
+               else c.MC.overhead_cycles)
+              (if c.MC.degraded then
+                 Printf.sprintf "degraded(%d)" c.MC.lost_wafers
+               else if c.MC.bit_identical then "yes"
+               else "NO");
+            rows :=
+              J.Obj
+                [
+                  ("benchmark", J.String d.id);
+                  ("wafers", J.String (Printf.sprintf "%dx%d" wx wy));
+                  ("domains", J.Int domains);
+                  ("cores", J.Int cores);
+                  ("oversubscribed", J.Bool oversubscribed);
+                  ("kind", J.String (Wf.kind_to_string c.MC.kind));
+                  ("rate", J.Float c.MC.rate);
+                  ("seed", J.Int c.MC.seed);
+                  ("recovery_demanded", J.Bool recovery_demanded);
+                  ("completed", J.Bool c.MC.completed);
+                  ("bit_identical", J.Bool c.MC.bit_identical);
+                  ("degraded", J.Bool c.MC.degraded);
+                  ("injected", J.Int c.MC.injected);
+                  ("detections", J.Int c.MC.detections);
+                  ("rollbacks", J.Int c.MC.rollbacks);
+                  ("replayed_epochs", J.Int c.MC.replayed_epochs);
+                  ("respawns", J.Int c.MC.respawns);
+                  ("checkpoints", J.Int c.MC.checkpoints);
+                  ("checkpoint_bytes", J.Int c.MC.checkpoint_bytes);
+                  ("lost_wafers", J.Int c.MC.lost_wafers);
+                  ("tainted_wafers", J.Int c.MC.tainted_wafers);
+                  ("fault_free_cycles", J.Float report.MC.baseline_cycles);
+                  ("device_cycles", J.float_or_null c.MC.device_cycles);
+                  ("overhead_cycles", J.float_or_null c.MC.overhead_cycles);
+                ]
+              :: !rows
+          in
+          List.iter (cell_row true) report.MC.cells;
+          List.iter (cell_row false) loss.MC.cells)
+        [ (2, 1); (2, 2) ])
+    B.all;
+  let doc =
+    J.summary ~tool:"bench-mwfaults"
+      ~config:
+        [
+          ("machine", J.String machine.Machine.name);
+          ("size", J.String "tiny");
+          ("cores", J.Int cores);
+          ("wafer_grids", J.List [ J.String "2x1"; J.String "2x2" ]);
+          ("rates", J.List [ J.Float 0.1; J.Float 0.25 ]);
+          ("seed", J.Int 1);
+          ( "checkpoint_cadence",
+            J.Int Wf.default_resilience.Wf.checkpoint_cadence );
+          ("max_retries", J.Int Wf.default_resilience.Wf.max_retries);
+        ]
+      ~results:(List.rev !rows)
+  in
+  let oc = open_out "BENCH_PR9.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_PR9.json\n";
+  if !mismatches = 0 then
+    Printf.printf
+      "all recovered runs bit-identical to the fault-free single-wafer run\n"
+  else begin
+    Printf.printf "RECOVERY MISMATCH on %d run(s)\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("fig4", fig4);
@@ -998,6 +1136,7 @@ let experiments =
     ("trace", trace_exp);
     ("micro", micro);
     ("multiwafer", multiwafer);
+    ("mwfaults", mwfaults);
   ]
 
 let () =

@@ -555,9 +555,19 @@ let emit_corpus_arg =
            Emission is a pure function of (--seed, --count): the same seed \
            always writes byte-identical files.")
 
+let mwfaults_fuzz_arg =
+  Arg.(
+    value & flag
+    & info [ "mwfaults" ]
+        ~doc:
+          "Add the chaos tier: co-simulate each case at 2x1 wafers under \
+           low-rate seeded wafer faults with the resilience protocol on, \
+           demanding post-recovery bit-identity (failure key \
+           mwfaults:<kind>).")
+
 let fuzz_cmd =
-  let run count seed machine crash_dir inject_bug reduce_budget json_out
-      emit_corpus =
+  let run count seed machine crash_dir inject_bug mwfaults reduce_budget
+      json_out emit_corpus =
     match emit_corpus with
     | Some dir ->
         let paths = H.Corpus.emit ~dir ~seed ~count in
@@ -572,6 +582,7 @@ let fuzz_cmd =
         machine;
         crash_dir;
         inject_bug;
+        mwfaults;
         reduce_budget;
       }
     in
@@ -601,7 +612,8 @@ let fuzz_cmd =
     Term.(
       term_result
         (const run $ fuzz_count_arg $ fuzz_seed_arg $ machine_arg $ crash_dir_arg
-       $ inject_bug_arg $ reduce_budget_arg $ fuzz_json_arg $ emit_corpus_arg))
+       $ inject_bug_arg $ mwfaults_fuzz_arg $ reduce_budget_arg $ fuzz_json_arg
+       $ emit_corpus_arg))
 
 let crash_arg =
   Arg.(
@@ -971,24 +983,108 @@ let mw_json_arg =
           "Write a machine-readable summary (plan, per-epoch cycles, \
            interconnect charge, compile-cache counters, bit-identity).")
 
+let mw_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:
+          "Run a wafer-level fault campaign (model × rate × seed sweep) \
+           instead of a single co-simulation: inter-wafer halo drops and \
+           corruption, wafer crashes and losses, interconnect latency \
+           spikes — with checkpoint/rollback recovery unless \
+           $(b,--no-resilience).")
+
+let wafer_kind_conv =
+  let module Wf = Wsc_faults.Faults.Wafer in
+  let parse s =
+    match
+      List.find_opt (fun k -> Wf.kind_to_string k = s) Wf.all_kinds
+    with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown wafer fault kind '%s': accepted kinds are %s" s
+               (String.concat ", " (List.map Wf.kind_to_string Wf.all_kinds))))
+  in
+  Arg.conv
+    (parse, fun fmt k -> Format.pp_print_string fmt (Wf.kind_to_string k))
+
+let wafer_kinds_arg =
+  Arg.(
+    value
+    & opt (list wafer_kind_conv) Wsc_faults.Faults.Wafer.all_kinds
+    & info [ "wafer-kinds" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated wafer fault models to sweep: halo-drop, \
+           halo-corrupt, crash, loss, spike (default: all).")
+
+let mw_cadence_arg =
+  Arg.(
+    value
+    & opt int Wsc_faults.Faults.Wafer.default_resilience.checkpoint_cadence
+    & info [ "cadence" ] ~docv:"EPOCHS"
+        ~doc:"Checkpoint cadence in epochs (resilient campaigns).")
+
+let mw_max_retries_arg =
+  Arg.(
+    value
+    & opt int Wsc_faults.Faults.Wafer.default_resilience.max_retries
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Retry budget per epoch before a faulty wafer is declared dead \
+           and the run degrades.")
+
 let multiwafer_cmd =
   let module MW = Wsc_multiwafer.Cosim in
+  let module MC = Wsc_multiwafer.Mwcampaign in
+  let module Wf = Wsc_faults.Faults.Wafer in
   let module D = Wsc_multiwafer.Decompose in
   let module IC = Wsc_multiwafer.Interconnect in
   let module J = Wsc_trace.Json in
+  let run_campaign ~bench:id ~size ~iterations ~machine ~wafers ~kinds ~rates
+      ~seeds ~resilient ~cadence ~max_retries ~json_out =
+    let resilience =
+      { Wf.checkpoint_cadence = cadence; max_retries }
+    in
+    let report =
+      MC.run ~machine ?iterations ~kinds ~resilience ~bench:id ~size ~wafers
+        ~resilient ~rates ~seeds ()
+    in
+    print_string (MC.to_string report);
+    (match json_out with
+    | None -> ()
+    | Some path -> write_json path (MC.to_json report));
+    (* recovery must be exact: with the protocol on, any completed,
+       non-degraded cell that is not bit-identical is a bug *)
+    let broken (c : MC.cell) =
+      resilient
+      && ((c.MC.completed && (not c.MC.degraded) && not c.MC.bit_identical)
+          || c.MC.error <> None)
+    in
+    if List.exists broken report.MC.cells then exit 1;
+    Ok ()
+  in
   let run bench size iterations machine wafers latency bandwidth no_check
-      json_out =
-    let* p =
+      json_out faults_mode wafer_kinds rates seeds no_resilience cadence
+      max_retries =
+    let* id =
       match bench with
       | None -> Error (`Msg "multiwafer: choose a benchmark with --bench NAME")
       | Some id -> (
           match B.find id with
           | exception Invalid_argument msg -> Error (`Msg msg)
-          | d ->
-              Ok
-                (match iterations with
-                | Some n -> d.make_n size n
-                | None -> d.make size))
+          | _ -> Ok id)
+    in
+    if faults_mode then
+      run_campaign ~bench:id ~size ~iterations ~machine ~wafers
+        ~kinds:wafer_kinds ~rates ~seeds ~resilient:(not no_resilience)
+        ~cadence ~max_retries ~json_out
+    else begin
+    let p =
+      let d = B.find id in
+      match iterations with Some n -> d.make_n size n | None -> d.make size
     in
     let interconnect =
       { IC.latency_s = latency; bandwidth_bytes_per_s = bandwidth }
@@ -1061,17 +1157,21 @@ let multiwafer_cmd =
                ]));
     if identical = Some false then exit 1;
     Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "multiwafer"
        ~doc:
          "Decompose a benchmark across N simulated wafers, co-simulate one \
-          wafer per domain, and check bit-identity vs a single wafer.")
+          wafer per domain, and check bit-identity vs a single wafer; with \
+          $(b,--faults), sweep wafer-level fault campaigns with \
+          checkpoint/rollback recovery.")
     Term.(
       term_result
         (const run $ bench_arg $ size_arg $ iters_arg $ machine_arg
        $ wafers_arg $ mw_latency_arg $ mw_bandwidth_arg $ mw_no_check_arg
-       $ mw_json_arg))
+       $ mw_json_arg $ mw_faults_arg $ wafer_kinds_arg $ rates_arg
+       $ seeds_arg $ no_resilience_arg $ mw_cadence_arg $ mw_max_retries_arg))
 
 let () =
   let info =

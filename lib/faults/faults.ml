@@ -331,3 +331,179 @@ let is_tainted_send (t : t) ~apply ~seq ~x ~y : bool =
   | Injector i ->
       Mutex.protect i.lock (fun () ->
           Hashtbl.mem i.tainted_sends (apply, seq, x, y))
+
+(* ------------------------------------------------------------------ *)
+(* Wafer-granularity sites                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Wafer = struct
+  type kind = Halo_drop | Halo_corrupt | Crash | Loss | Spike
+
+  let kind_to_string = function
+    | Halo_drop -> "halo-drop"
+    | Halo_corrupt -> "halo-corrupt"
+    | Crash -> "crash"
+    | Loss -> "loss"
+    | Spike -> "spike"
+
+  let all_kinds = [ Halo_drop; Halo_corrupt; Crash; Loss; Spike ]
+
+  type resilience = { checkpoint_cadence : int; max_retries : int }
+
+  let default_resilience = { checkpoint_cadence = 2; max_retries = 8 }
+
+  type config = {
+    seed : int;
+    halo_drop_rate : float;
+    halo_corrupt_rate : float;
+    crash_rate : float;
+    loss_rate : float;
+    spike_rate : float;
+    spike_factor : float;
+    resilience : resilience option;
+  }
+
+  let default_config =
+    {
+      seed = 0;
+      halo_drop_rate = 0.0;
+      halo_corrupt_rate = 0.0;
+      crash_rate = 0.0;
+      loss_rate = 0.0;
+      spike_rate = 0.0;
+      spike_factor = 8.0;
+      resilience = None;
+    }
+
+  let config_for (k : kind) ~(rate : float) ~(seed : int) ~(resilient : bool) :
+      config =
+    let base =
+      {
+        default_config with
+        seed;
+        resilience = (if resilient then Some default_resilience else None);
+      }
+    in
+    match k with
+    | Halo_drop -> { base with halo_drop_rate = rate }
+    | Halo_corrupt -> { base with halo_corrupt_rate = rate }
+    | Crash -> { base with crash_rate = rate }
+    | Loss -> { base with loss_rate = rate }
+    | Spike -> { base with spike_rate = rate }
+
+  type stats = {
+    mutable halo_drops : int;
+    mutable halo_corrupts : int;
+    mutable crashes : int;
+    mutable losses : int;
+    mutable spikes : int;
+    mutable detected : int;
+  }
+
+  let fresh_stats () =
+    {
+      halo_drops = 0;
+      halo_corrupts = 0;
+      crashes = 0;
+      losses = 0;
+      spikes = 0;
+      detected = 0;
+    }
+
+  type injector = { cfg : config; st : stats; lock : Mutex.t }
+  type t = Null | Injector of injector
+
+  let null = Null
+
+  let create (cfg : config) : t =
+    Injector { cfg; st = fresh_stats (); lock = Mutex.create () }
+
+  let enabled = function Null -> false | Injector _ -> true
+
+  let config = function
+    | Null -> invalid_arg "Faults.Wafer.config: null injector"
+    | Injector i -> i.cfg
+
+  let stats = function Null -> fresh_stats () | Injector i -> i.st
+
+  (* site tags continue the intra-wafer numbering above *)
+  let site_crash = 8
+  let site_loss = 9
+  let site_halo_drop = 10
+  let site_halo_corrupt = 11
+  let site_halo_where = 12
+  let site_halo_noise = 13
+  let site_spike = 14
+
+  let flip (i : injector) ~rate ~site ~keys : bool =
+    rate > 0.0 && uniform ~seed:i.cfg.seed ~site ~keys < rate
+
+  (* the counter bumps are additive and order-independent, so campaign
+     stats replay identically however the cosim's domains interleave *)
+  let bump (i : injector) (f : stats -> unit) : bool =
+    Mutex.protect i.lock (fun () -> f i.st);
+    true
+
+  let crash_here (t : t) ~epoch ~wafer ~attempt : bool =
+    match t with
+    | Null -> false
+    | Injector i ->
+        flip i ~rate:i.cfg.crash_rate ~site:site_crash
+          ~keys:[ epoch; wafer; attempt ]
+        && bump i (fun s -> s.crashes <- s.crashes + 1)
+
+  (* permanent: no attempt key, and sticky over epochs — once a wafer is
+     lost at epoch e it stays lost for every later epoch and replay *)
+  let lost_here (t : t) ~epoch ~wafer : bool =
+    match t with
+    | Null -> false
+    | Injector i ->
+        i.cfg.loss_rate > 0.0
+        &&
+        let rec fired e =
+          e >= 1
+          && (flip i ~rate:i.cfg.loss_rate ~site:site_loss ~keys:[ e; wafer ]
+             || fired (e - 1))
+        in
+        fired epoch
+        && bump i (fun s -> s.losses <- s.losses + 1)
+
+  let drop_halo (t : t) ~epoch ~wafer ~dir ~attempt : bool =
+    match t with
+    | Null -> false
+    | Injector i ->
+        flip i ~rate:i.cfg.halo_drop_rate ~site:site_halo_drop
+          ~keys:[ epoch; wafer; dir; attempt ]
+        && bump i (fun s -> s.halo_drops <- s.halo_drops + 1)
+
+  let corrupt_halo (t : t) ~epoch ~wafer ~dir ~attempt : bool =
+    match t with
+    | Null -> false
+    | Injector i ->
+        flip i ~rate:i.cfg.halo_corrupt_rate ~site:site_halo_corrupt
+          ~keys:[ epoch; wafer; dir; attempt ]
+        && bump i (fun s -> s.halo_corrupts <- s.halo_corrupts + 1)
+
+  let halo_corruption (t : t) ~epoch ~wafer ~dir ~attempt ~len : int * float =
+    match t with
+    | Null -> (0, 0.0)
+    | Injector i ->
+        let keys = [ epoch; wafer; dir; attempt ] in
+        let where = uniform ~seed:i.cfg.seed ~site:site_halo_where ~keys in
+        let noise = uniform ~seed:i.cfg.seed ~site:site_halo_noise ~keys in
+        let idx = min (len - 1) (int_of_float (where *. float_of_int len)) in
+        (max 0 idx, (noise *. 2.0) -. 1.0)
+
+  let spike_here (t : t) ~epoch ~wafer : bool =
+    match t with
+    | Null -> false
+    | Injector i ->
+        flip i ~rate:i.cfg.spike_rate ~site:site_spike ~keys:[ epoch; wafer ]
+        && bump i (fun s -> s.spikes <- s.spikes + 1)
+
+  let record_detection (t : t) : unit =
+    match t with
+    | Null -> ()
+    | Injector i ->
+        Mutex.protect i.lock (fun () -> i.st.detected <- i.st.detected + 1)
+end

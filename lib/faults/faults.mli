@@ -175,3 +175,105 @@ val is_skipped : t -> apply:int -> seq:int -> x:int -> y:int -> bool
 val taint_send : t -> apply:int -> seq:int -> x:int -> y:int -> unit
 
 val is_tainted_send : t -> apply:int -> seq:int -> x:int -> y:int -> bool
+
+(** {1 Wafer-granularity sites}
+
+    The multi-wafer co-simulator's fault models, one level up from the
+    intra-wafer sites above: inter-wafer halo exchanges dropped or
+    corrupted on the interconnect, whole-wafer transient crashes and
+    permanent losses, and interconnect latency spikes.  Same
+    discipline — a two-constructor injector whose [Null] arm costs one
+    branch per site, and every decision a pure SplitMix64 hash of
+    [(seed, epoch, wafer, direction, attempt)] — so a fault-free
+    multiwafer run stays bit-identical to an uninstrumented one and a
+    campaign replays byte-for-byte from its seed. *)
+module Wafer : sig
+  type kind =
+    | Halo_drop  (** an inter-wafer halo transfer never arrives *)
+    | Halo_corrupt  (** one element of a halo transfer is damaged *)
+    | Crash  (** a wafer dies mid-epoch; a respawn can recover it *)
+    | Loss  (** a wafer dies permanently: every retry fails *)
+    | Spike  (** an interconnect latency spike (charges time only) *)
+
+  val kind_to_string : kind -> string
+  val all_kinds : kind list
+
+  (** Recovery parameters of the co-simulator's checkpoint/restart
+      protocol: how often the gathered global state is snapshotted, and
+      how many times one epoch may be re-executed before the offending
+      wafer is declared dead and the run degrades gracefully. *)
+  type resilience = { checkpoint_cadence : int; max_retries : int }
+
+  val default_resilience : resilience
+
+  type config = {
+    seed : int;
+    halo_drop_rate : float;  (** per (epoch, wafer, direction, attempt) *)
+    halo_corrupt_rate : float;  (** per (epoch, wafer, direction, attempt) *)
+    crash_rate : float;  (** per (epoch, wafer, attempt) *)
+    loss_rate : float;  (** per (epoch, wafer) — sticky once fired *)
+    spike_rate : float;  (** per (epoch, wafer) *)
+    spike_factor : float;  (** exchange-time multiplier on a spike *)
+    resilience : resilience option;  (** [None]: faults land undetected *)
+  }
+
+  (** All rates zero; seed 0; no resilience. *)
+  val default_config : config
+
+  (** One campaign cell: only [kind]'s rate is [rate]. *)
+  val config_for : kind -> rate:float -> seed:int -> resilient:bool -> config
+
+  type stats = {
+    mutable halo_drops : int;
+    mutable halo_corrupts : int;
+    mutable crashes : int;
+    mutable losses : int;  (** lost-wafer decisions consulted, not wafers *)
+    mutable spikes : int;
+    mutable detected : int;  (** checksum / liveness detections *)
+  }
+
+  type injector
+  type t = Null | Injector of injector
+
+  val null : t
+
+  (** Two injectors created from equal configs make identical
+      decisions. *)
+  val create : config -> t
+
+  val enabled : t -> bool
+
+  (** @raise Invalid_argument on [Null] *)
+  val config : t -> config
+
+  (** Zeroes on [Null]. *)
+  val stats : t -> stats
+
+  (** Does wafer [wafer] crash during execution [attempt] of [epoch]?
+      Transient: the next attempt draws a fresh decision. *)
+  val crash_here : t -> epoch:int -> wafer:int -> attempt:int -> bool
+
+  (** Is wafer [wafer] permanently lost by [epoch]?  No attempt key, and
+      sticky: once the decision fires at some epoch [e] it holds for
+      every [epoch >= e] and every replay. *)
+  val lost_here : t -> epoch:int -> wafer:int -> bool
+
+  (** Does the halo arriving at [wafer] from direction [dir] get dropped
+      (resp. corrupted) during execution [attempt] of [epoch]? *)
+  val drop_halo : t -> epoch:int -> wafer:int -> dir:int -> attempt:int -> bool
+
+  val corrupt_halo :
+    t -> epoch:int -> wafer:int -> dir:int -> attempt:int -> bool
+
+  (** Deterministic damage for a corrupted halo: the element index to
+      perturb (within [len]) and the additive noise. *)
+  val halo_corruption :
+    t -> epoch:int -> wafer:int -> dir:int -> attempt:int -> len:int ->
+    int * float
+
+  (** Does wafer [wafer]'s exchange suffer a latency spike this epoch? *)
+  val spike_here : t -> epoch:int -> wafer:int -> bool
+
+  (** Count one checksum / liveness detection (thread-safe). *)
+  val record_detection : t -> unit
+end

@@ -9,6 +9,7 @@ type config = {
   machine : Wsc_wse.Machine.t;
   crash_dir : string;
   inject_bug : bool;
+  mwfaults : bool;
   reduce_budget : int;
 }
 
@@ -19,6 +20,7 @@ let default_config =
     machine = Wsc_wse.Machine.wse3;
     crash_dir = "crashes";
     inject_bug = false;
+    mwfaults = false;
     reduce_budget = 150;
   }
 
@@ -52,7 +54,10 @@ let run_case (cfg : config) (index : int) : case =
       c_artifact = None;
     }
   in
-  match Oracle.check ~inject_bug:cfg.inject_bug ~machine:cfg.machine p with
+  match
+    Oracle.check ~inject_bug:cfg.inject_bug ~mwfaults:cfg.mwfaults
+      ~machine:cfg.machine p
+  with
   | { Oracle.failure = None; _ } -> base
   | { Oracle.failure = Some f; ir_before; ir_after } ->
       let key = Oracle.failure_key f in
@@ -61,7 +66,8 @@ let run_case (cfg : config) (index : int) : case =
         else begin
           let still_fails q =
             match
-              Oracle.check ~inject_bug:cfg.inject_bug ~machine:cfg.machine q
+              Oracle.check ~inject_bug:cfg.inject_bug ~mwfaults:cfg.mwfaults
+                ~machine:cfg.machine q
             with
             | { Oracle.failure = Some f'; _ } -> Oracle.failure_key f' = key
             | _ -> false
@@ -160,6 +166,7 @@ let to_json (r : report) : Json.t =
         ("machine", Json.String r.cfg.machine.Wsc_wse.Machine.name);
         ("crash_dir", Json.String r.cfg.crash_dir);
         ("inject_bug", Json.Bool r.cfg.inject_bug);
+        ("mwfaults", Json.Bool r.cfg.mwfaults);
         ("reduce_budget", Json.Int r.cfg.reduce_budget);
         ("crashes", Json.Int (crashes r));
       ]

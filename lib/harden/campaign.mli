@@ -11,6 +11,10 @@ type config = {
   machine : Wsc_wse.Machine.t;
   crash_dir : string;
   inject_bug : bool;  (** splice the test-only bug pass into every case *)
+  mwfaults : bool;
+      (** add the chaos tier: co-simulate each case under low-rate
+          wafer faults with resilience on, demanding post-recovery
+          bit-identity (failure key [mwfaults:<kind>]) *)
   reduce_budget : int;  (** max oracle re-runs while reducing one crash;
                             0 disables reduction *)
 }

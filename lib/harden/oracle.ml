@@ -17,6 +17,7 @@ type failure =
   | Roundtrip of { pass : string; msg : string }
   | Mismatch of { tier : string; diff : float }
   | Multiwafer of { wafers : string; diff : float }
+  | Mwfault of { kind : string; wafers : string; diff : float }
   | Crash of { stage : string; msg : string }
 
 let failure_key = function
@@ -24,6 +25,7 @@ let failure_key = function
   | Roundtrip { pass; _ } -> "roundtrip:" ^ pass
   | Mismatch { tier; _ } -> "mismatch:" ^ tier
   | Multiwafer { wafers; _ } -> "multiwafer:" ^ wafers
+  | Mwfault { kind; _ } -> "mwfaults:" ^ kind
   | Crash { stage; _ } -> "crash:" ^ stage
 
 let failure_to_string = function
@@ -37,6 +39,11 @@ let failure_to_string = function
         "%s-wafer co-simulation is not bit-identical to the single-wafer \
          fabric: max |diff| = %.3e"
         wafers diff
+  | Mwfault { kind; wafers; diff } ->
+      Printf.sprintf
+        "%s-wafer co-simulation under %s faults did not recover \
+         bit-identically: max |diff| = %.3e"
+        wafers kind diff
   | Crash { stage; msg } -> Printf.sprintf "%s stage crashed: %s" stage msg
 
 type report = {
@@ -143,7 +150,55 @@ let multiwafer_grids (p : P.t) : (int * int) list =
   let nx, _, _ = p.P.extents in
   (1, 1) :: (if nx >= 2 then [ (2, 1) ] else [])
 
-let check ?(inject_bug = false) ?(multiwafer = true)
+module Wf = Wsc_faults.Faults.Wafer
+
+(** The chaos tier: co-simulate at 2×1 under a low-rate seeded wafer
+    fault injector with the resilience protocol on, and demand the
+    *recovered* fields are still bit-identical to the single-wafer
+    fabric.  [Loss] is excluded: a permanently lost wafer degrades the
+    run by design, which is not a miscompile. *)
+let mwfaults_tier ~(machine : Wsc_wse.Machine.t) (p : P.t)
+    (outs : I.grid list) : failure option =
+  let nx, _, _ = p.P.extents in
+  if nx < 2 then None
+  else
+    List.fold_left
+      (fun acc kind ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            let kname = Wf.kind_to_string kind in
+            let faults =
+              Wf.create (Wf.config_for kind ~rate:0.1 ~seed:1 ~resilient:true)
+            in
+            match MW.run ~machine ~faults ~wafers:(2, 1) p with
+            | exception e ->
+                Some
+                  (Crash
+                     {
+                       stage = "mwfaults-" ^ kname;
+                       msg = Printexc.to_string e;
+                     })
+            | r ->
+                let degraded =
+                  match r.MW.recovery with
+                  | Some rc -> rc.MW.degraded
+                  | None -> false
+                in
+                if degraded then acc
+                else if MW.grids_bit_identical outs r.MW.grids then None
+                else
+                  Some
+                    (Mwfault
+                       {
+                         kind = kname;
+                         wafers = "2x1";
+                         diff = max_diff outs r.MW.grids;
+                       })))
+      None
+      [ Wf.Halo_drop; Wf.Halo_corrupt; Wf.Crash ]
+
+let check ?(inject_bug = false) ?(multiwafer = true) ?(mwfaults = false)
     ?(machine = Wsc_wse.Machine.wse3) (p : P.t) : report =
   Wsc_core.Csl_stencil_interp.register ();
   let fail ?ir_before ?ir_after f =
@@ -219,6 +274,14 @@ let check ?(inject_bug = false) ?(multiwafer = true)
                                       | None ->
                                           multiwafer_tier ~machine p outs wafers)
                                     None (multiwafer_grids p)
+                              in
+                              let mw_failure =
+                                match mw_failure with
+                                | Some _ -> mw_failure
+                                | None ->
+                                    if mwfaults then
+                                      mwfaults_tier ~machine p outs
+                                    else None
                               in
                               (match mw_failure with
                               | Some f ->

@@ -18,6 +18,9 @@ type failure =
   | Multiwafer of { wafers : string; diff : float }
       (** the multi-wafer co-simulation is not *bit-identical* to the
           single-wafer fabric ([wafers] is e.g. ["2x1"]) *)
+  | Mwfault of { kind : string; wafers : string; diff : float }
+      (** the co-simulation under injected wafer faults ([kind] is e.g.
+          ["crash"]) recovered but is not bit-identical *)
   | Crash of { stage : string; msg : string }
       (** a non-pass stage raised: reference, interpreter, simulator *)
 
@@ -46,11 +49,17 @@ val tolerance : float
     pipeline groups — test-only, for proving the harness catches
     defects.  [multiwafer] (default on) adds the final tier: the
     program co-simulated on 1×1 and 2×1 wafer grids must drain fields
-    bit-identical to the single-wafer fabric.  Never raises: every
-    exception becomes a {!failure}. *)
+    bit-identical to the single-wafer fabric.  [mwfaults] (default off:
+    each fault kind costs one more co-simulation) adds the chaos tier —
+    the 2×1 co-simulation under low-rate seeded halo-drop /
+    halo-corrupt / crash faults with the resilience protocol on must
+    *recover* bit-identically (degraded runs are excused: exhausting
+    the retry budget is by design, not a miscompile).  Never raises:
+    every exception becomes a {!failure}. *)
 val check :
   ?inject_bug:bool ->
   ?multiwafer:bool ->
+  ?mwfaults:bool ->
   ?machine:Wsc_wse.Machine.t ->
   Wsc_frontends.Stencil_program.t ->
   report

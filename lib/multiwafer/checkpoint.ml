@@ -1,0 +1,30 @@
+(** Epoch-granular checkpoints of the co-simulation's gathered global
+    state — see the interface. *)
+
+module I = Wsc_dialects.Interp
+
+type t = { ck_epoch : int; ck_grids : I.grid list }
+
+let epoch (t : t) : int = t.ck_epoch
+
+let take ~(epoch : int) (grids : I.grid list) : t =
+  { ck_epoch = epoch; ck_grids = List.map I.copy_grid grids }
+
+let restore (t : t) ~(into : I.grid list) : unit =
+  if List.length t.ck_grids <> List.length into then
+    invalid_arg "Checkpoint.restore: grid-count mismatch";
+  List.iter2
+    (fun (src : I.grid) (dst : I.grid) ->
+      if src.I.gbounds <> dst.I.gbounds
+         || Array.length src.I.gdata <> Array.length dst.I.gdata
+      then invalid_arg "Checkpoint.restore: grid-shape mismatch";
+      Array.blit src.I.gdata 0 dst.I.gdata 0 (Array.length src.I.gdata))
+    t.ck_grids into
+
+(* what a real machine would persist: the f32 fields, not OCaml's
+   boxed doubles — priced like Interconnect.bytes_per_scalar *)
+let bytes (t : t) : int =
+  List.fold_left
+    (fun acc (g : I.grid) ->
+      acc + (Interconnect.bytes_per_scalar * Array.length g.I.gdata))
+    0 t.ck_grids

@@ -1,0 +1,23 @@
+(** Epoch-granular checkpoints of the co-simulation's gathered global
+    state: a deep snapshot of every state grid plus the epoch counter it
+    was taken after.  [restore] writes the snapshot back into live grids
+    bit-for-bit, so rollback + deterministic re-execution reproduces the
+    fault-free fields exactly (pinned by a qcheck round-trip property). *)
+
+module I = Wsc_dialects.Interp
+
+type t
+
+(** The epoch the snapshot was taken after (0 = initial state). *)
+val epoch : t -> int
+
+(** Deep-copy [grids] as the state at the end of [epoch]. *)
+val take : epoch:int -> I.grid list -> t
+
+(** Blit the snapshot back into [into] (same shapes required).
+    @raise Invalid_argument on a shape or count mismatch. *)
+val restore : t -> into:I.grid list -> unit
+
+(** Snapshot size as a real machine would persist it (f32 scalars,
+    [Interconnect.bytes_per_scalar] each). *)
+val bytes : t -> int

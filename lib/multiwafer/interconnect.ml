@@ -13,16 +13,15 @@ let exchange_s (t : t) ~(bytes : int) : float =
 
 let bytes_per_scalar = 4 (* the pipeline computes in f32 *)
 
+(** One wafer's receive time for one epoch. *)
+let slice_s (t : t) (s : Decompose.slice) : float =
+  exchange_s t ~bytes:(bytes_per_scalar * Decompose.slice_exchange_scalars s)
+
 (** Time one BSP epoch spends exchanging: every wafer's receives happen
     in parallel over its own links, so the epoch is charged the slowest
     wafer's exchange. *)
 let epoch_s (t : t) (pl : Decompose.plan) : float =
-  List.fold_left
-    (fun acc s ->
-      Float.max acc
-        (exchange_s t
-           ~bytes:(bytes_per_scalar * Decompose.slice_exchange_scalars s)))
-    0.0 pl.Decompose.slices
+  List.fold_left (fun acc s -> Float.max acc (slice_s t s)) 0.0 pl.Decompose.slices
 
 (** Bytes received per epoch across all wafers. *)
 let epoch_bytes (pl : Decompose.plan) : int =

@@ -14,6 +14,11 @@ val exchange_s : t -> bytes:int -> float
 
 val bytes_per_scalar : int
 
+(** One wafer's receive time for one epoch (its swaps' scalars at
+    [bytes_per_scalar] each).  The fault layer multiplies this by
+    [spike_factor] on an interconnect latency spike. *)
+val slice_s : t -> Decompose.slice -> float
+
 (** Per-epoch charge: the slowest wafer's receive time (links are
     parallel across wafers). *)
 val epoch_s : t -> Decompose.plan -> float

@@ -177,10 +177,22 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
                  and got its bytes — to the requester it is a plain hit *)
               let t_compiled = Unix.gettimeofday () in
               finish ~cache:(Some `Hit) ~t_parsed ~t_compiled (Ok c)
-          | `Claimed -> (
-              (* single-flight: this worker owns the key until release *)
+          | `Claimed ->
+              (* single-flight: this worker owns the key until release.
+                 Release exactly once on EVERY exit path — an exception
+                 escaping with the claim held would park the key's dedup
+                 waiters forever (the mid-request-death regression) *)
+              let released = ref false in
+              let release v =
+                released := true;
+                Cache.release t.cache key v
+              in
+              Fun.protect ~finally:(fun () ->
+                  if not !released then Cache.release t.cache key None)
+              @@ fun () ->
+              (
               let fail_released e =
-                Cache.release t.cache key None;
+                release None;
                 let t_compiled = Unix.gettimeofday () in
                 finish ~cache:(Some `Miss) ~t_parsed ~t_compiled
                   (Error (error_of_exn e))
@@ -234,7 +246,7 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
                           cold_wall_s = t_emitted -. t_start;
                         }
                       in
-                      Cache.release t.cache key (Some c);
+                      release (Some c);
                       finish ~cache:(Some `Miss) ~t_parsed ~t_compiled (Ok c))))
 
 (* ------------------------------------------------------------------ *)

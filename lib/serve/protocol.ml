@@ -265,7 +265,8 @@ let protocol_error_response ~(id : int option) (msg : string) : J.t =
         ];
     ]
 
-let stats_response ~(id : int) ~(engine : Engine.t) ~(uptime_s : float) : J.t =
+let stats_response ~(id : int) ~(engine : Engine.t) ?(retries = 0)
+    ?(worker_restarts = 0) ~(uptime_s : float) () : J.t =
   let s = Engine.cache_stats engine in
   let requests, ok, errors = Engine.counters engine in
   envelope ~id:(Some id) ~op:"stats"
@@ -277,6 +278,8 @@ let stats_response ~(id : int) ~(engine : Engine.t) ~(uptime_s : float) : J.t =
           ("requests", J.Int requests);
           ("ok", J.Int ok);
           ("errors", J.Int errors);
+          ("retries", J.Int retries);
+          ("worker_restarts", J.Int worker_restarts);
           ( "cache",
             J.Obj
               [

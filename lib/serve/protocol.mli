@@ -54,8 +54,16 @@ val compile_response : id:int -> Engine.result -> Wsc_trace.Json.t
 (** A protocol-level failure (unparsable line, bad config, unknown op). *)
 val protocol_error_response : id:int option -> string -> Wsc_trace.Json.t
 
+(** [retries] / [worker_restarts] are the pool's resilience counters
+    (jobs requeued after a worker death, and worker recoveries). *)
 val stats_response :
-  id:int -> engine:Engine.t -> uptime_s:float -> Wsc_trace.Json.t
+  id:int ->
+  engine:Engine.t ->
+  ?retries:int ->
+  ?worker_restarts:int ->
+  uptime_s:float ->
+  unit ->
+  Wsc_trace.Json.t
 
 val shutdown_response : id:int -> Wsc_trace.Json.t
 

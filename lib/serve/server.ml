@@ -133,7 +133,17 @@ let run (cfg : config) : int =
     Engine.emit_spans sinks.(i) ~tid:i ~epoch ~id:job.j_req.Protocol.rq_id r;
     respond job.j_conn (Protocol.compile_response ~id:job.j_req.Protocol.rq_id r)
   in
-  let pool = Pool.create ~domains worker in
+  (* a worker dying mid-request (an escaped exception — compile errors
+     are values, so this is a harness bug or resource blip) retries the
+     request with backoff instead of tearing the server down; a request
+     that exhausts its budget gets a structured error response *)
+  let on_exhausted _i (job : job) (e : exn) : unit =
+    respond job.j_conn
+      (Protocol.protocol_error_response ~id:(Some job.j_req.Protocol.rq_id)
+         (Printf.sprintf "worker failed after retries: %s"
+            (Printexc.to_string e)))
+  in
+  let pool = Pool.create ~max_retries:2 ~on_exhausted ~domains worker in
   (* --- transport setup --- *)
   let next_conn = ref 0 in
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
@@ -192,8 +202,9 @@ let run (cfg : config) : int =
       | Error (id, msg) -> respond c.c_id (Protocol.protocol_error_response ~id msg)
       | Ok (Protocol.Stats id) ->
           respond c.c_id
-            (Protocol.stats_response ~id ~engine
-               ~uptime_s:(Unix.gettimeofday () -. epoch))
+            (Protocol.stats_response ~id ~engine ~retries:(Pool.retries pool)
+               ~worker_restarts:(Pool.worker_restarts pool)
+               ~uptime_s:(Unix.gettimeofday () -. epoch) ())
       | Ok (Protocol.Shutdown id) ->
           respond c.c_id (Protocol.shutdown_response ~id);
           draining := true
@@ -265,12 +276,13 @@ let run (cfg : config) : int =
     let requests, ok, errors = Engine.counters engine in
     let s = Engine.cache_stats engine in
     Printf.eprintf
-      "wsc serve: %d request(s) read, %d compiled ok, %d error(s); cache %d \
-       hit (%d dedup) / %d miss / %d evicted (hit-rate %.1f%%, %d/%d \
-       entries); uptime %.1f s\n\
+      "wsc serve: %d request(s) read, %d compiled ok, %d error(s); %d \
+       retried, %d worker restart(s); cache %d hit (%d dedup) / %d miss / \
+       %d evicted (hit-rate %.1f%%, %d/%d entries); uptime %.1f s\n\
        %!"
-      !served ok errors s.Cache.hits s.Cache.dedup_hits s.Cache.misses
-      s.Cache.evictions
+      !served ok errors (Pool.retries pool)
+      (Pool.worker_restarts pool) s.Cache.hits s.Cache.dedup_hits
+      s.Cache.misses s.Cache.evictions
       (100.0 *. Cache.hit_rate s)
       s.Cache.entries s.Cache.capacity
       (Unix.gettimeofday () -. epoch);

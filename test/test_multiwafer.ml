@@ -200,6 +200,162 @@ let test_one_domain_per_wafer () =
   checki "2x2 spawns four more" (before + 6) (MW.domains_spawned ())
 
 (* ------------------------------------------------------------------ *)
+(* wafer-level resilience                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Wf = Wsc_faults.Faults.Wafer
+module MC = Wsc_multiwafer.Mwcampaign
+module CK = Wsc_multiwafer.Checkpoint
+module I = Wsc_dialects.Interp
+module Json = Wsc_trace.Json
+
+(* These tests deliberately use their own engines: the cache-delta
+   assertions above pin exact hit/miss counts on the shared one. *)
+
+let grid_gen : I.grid QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* nx = int_range 1 4 in
+  let* ny = int_range 1 4 in
+  let* z = int_range 1 3 in
+  let* data = array_size (pure (nx * ny * z)) (float_bound_inclusive 1000.0) in
+  pure
+    {
+      I.gbounds = [ (0, nx); (0, ny) ];
+      gelt = Tensor ([ z ], F32);
+      gdata = data;
+    }
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint take/restore is bit-identical" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 4) grid_gen))
+    (fun grids ->
+      let saved = List.map (fun (g : I.grid) -> Array.copy g.I.gdata) grids in
+      let ck = CK.take ~epoch:3 grids in
+      (* scramble the live state, as a faulty epoch would *)
+      List.iter
+        (fun (g : I.grid) ->
+          Array.iteri (fun i v -> g.I.gdata.(i) <- (2.0 *. v) +. 1.0) g.I.gdata)
+        grids;
+      CK.restore ck ~into:grids;
+      CK.epoch ck = 3
+      && CK.bytes ck > 0
+      && List.for_all2
+           (fun (g : I.grid) orig ->
+             Array.length g.I.gdata = Array.length orig
+             && Array.for_all2
+                  (fun a b ->
+                    Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+                  g.I.gdata orig)
+           grids saved)
+
+let campaign ~wafers ~seed =
+  MC.run ~bench:"jacobian" ~size:B.Tiny ~wafers ~resilient:true
+    ~kinds:[ Wf.Halo_drop; Wf.Crash ] ~rates:[ 0.25 ] ~seeds:[ seed ] ()
+
+let prop_campaign_replay =
+  QCheck.Test.make ~name:"campaign replays byte-for-byte (2x1, 2x2)" ~count:3
+    (QCheck.make QCheck.Gen.(int_range 1 50))
+    (fun seed ->
+      List.for_all
+        (fun wafers ->
+          let a = campaign ~wafers ~seed in
+          let b = campaign ~wafers ~seed in
+          String.equal (MC.to_string a) (MC.to_string b)
+          && String.equal
+               (Json.to_string (MC.to_json a))
+               (Json.to_string (MC.to_json b)))
+        [ (2, 1); (2, 2) ])
+
+let recovery_of (r : MW.t) =
+  match r.MW.recovery with
+  | Some rc -> rc
+  | None -> Alcotest.fail "expected a recovery report"
+
+let test_null_injector_fault_free () =
+  let d = B.find "diffusion" in
+  let p = d.B.make B.Tiny in
+  let refs = MW.reference p in
+  let e = Wsc_serve.Engine.create () in
+  let plain = MW.run ~engine:e ~wafers:(2, 1) p in
+  check "plain run has no recovery report" true (plain.MW.recovery = None);
+  let null = MW.run ~engine:e ~faults:Wf.null ~wafers:(2, 1) p in
+  check "Wf.null bit-identical" true
+    (MW.grids_bit_identical refs null.MW.grids);
+  check "Wf.null has no recovery report" true (null.MW.recovery = None);
+  let zero =
+    MW.run ~engine:e ~faults:(Wf.create Wf.default_config) ~wafers:(2, 1) p
+  in
+  check "zero-rate injector bit-identical" true
+    (MW.grids_bit_identical refs zero.MW.grids);
+  let rc = recovery_of zero in
+  checki "zero-rate: no rollbacks" 0 rc.MW.rollbacks;
+  checki "zero-rate: no detections" 0 rc.MW.detections;
+  check "zero-rate: not degraded" false rc.MW.degraded
+
+let test_recovery_bit_identical () =
+  let d = B.find "jacobian" in
+  let p = d.B.make B.Tiny in
+  let refs = MW.reference p in
+  let e = Wsc_serve.Engine.create () in
+  let total_injected = ref 0 in
+  let total_rollbacks = ref 0 in
+  List.iter
+    (fun wafers ->
+      List.iter
+        (fun kind ->
+          let faults =
+            Wf.create (Wf.config_for kind ~rate:0.25 ~seed:1 ~resilient:true)
+          in
+          let r = MW.run ~engine:e ~faults ~wafers p in
+          let rc = recovery_of r in
+          if not rc.MW.degraded then
+            check
+              (Printf.sprintf "%s %dx%d recovered bit-identical"
+                 (Wf.kind_to_string kind) (fst wafers) (snd wafers))
+              true
+              (MW.grids_bit_identical refs r.MW.grids);
+          let st = Wf.stats faults in
+          total_injected :=
+            !total_injected + st.Wf.halo_drops + st.Wf.halo_corrupts
+            + st.Wf.crashes;
+          total_rollbacks := !total_rollbacks + rc.MW.rollbacks)
+        [ Wf.Halo_drop; Wf.Halo_corrupt; Wf.Crash ])
+    [ (2, 1); (2, 2) ];
+  check "the schedule actually fired" true (!total_injected > 0);
+  check "recovery actually rolled back" true (!total_rollbacks > 0)
+
+let test_loss_degrades_gracefully () =
+  let d = B.find "jacobian" in
+  let p = d.B.make B.Tiny in
+  let faults =
+    Wf.create (Wf.config_for Wf.Loss ~rate:0.9 ~seed:1 ~resilient:true)
+  in
+  let r = MW.run ~faults ~wafers:(2, 1) p in
+  let rc = recovery_of r in
+  check "degraded" true rc.MW.degraded;
+  check "lost wafers recorded" true (rc.MW.lost <> []);
+  check "taint covers the lost wafers" true
+    (List.for_all (fun w -> List.mem w rc.MW.tainted) rc.MW.lost)
+
+let test_crash_unprotected_then_clean_rerun () =
+  let d = B.find "jacobian" in
+  let p = d.B.make B.Tiny in
+  let refs = MW.reference p in
+  let e = Wsc_serve.Engine.create () in
+  let faults =
+    Wf.create (Wf.config_for Wf.Crash ~rate:0.9 ~seed:1 ~resilient:false)
+  in
+  (match MW.run ~engine:e ~faults ~wafers:(2, 1) p with
+  | exception MW.Cosim_error _ -> ()
+  | _ -> Alcotest.fail "expected Cosim_error with resilience disabled");
+  (* the failed run must leave the engine and its pool clean: an
+     identical fault-free run on the same engine succeeds, from cache *)
+  let r = MW.run ~engine:e ~wafers:(2, 1) p in
+  check "re-run on the same engine bit-identical" true
+    (MW.grids_bit_identical refs r.MW.grids);
+  check "re-run served from cache" true (r.MW.cache.Cache.hits > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "multiwafer"
@@ -227,5 +383,18 @@ let () =
             test_cosim_cache_dedup;
           Alcotest.test_case "one domain per wafer" `Quick
             test_one_domain_per_wafer;
+        ] );
+      ( "resilience",
+        [
+          QCheck_alcotest.to_alcotest prop_checkpoint_roundtrip;
+          QCheck_alcotest.to_alcotest prop_campaign_replay;
+          Alcotest.test_case "fault-free path unchanged by null injectors"
+            `Quick test_null_injector_fault_free;
+          Alcotest.test_case "recovered runs bit-identical" `Quick
+            test_recovery_bit_identical;
+          Alcotest.test_case "exhausted retries degrade gracefully" `Quick
+            test_loss_degrades_gracefully;
+          Alcotest.test_case "unprotected crash raises; engine stays clean"
+            `Quick test_crash_unprotected_then_clean_rerun;
         ] );
     ]

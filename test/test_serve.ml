@@ -150,6 +150,39 @@ let test_pool_failure_reraised () =
   | () -> Alcotest.fail "shutdown should re-raise the job exception"
   | exception Boom -> ()
 
+(** Bounded retry: a job that fails its first attempts is requeued with
+    backoff and eventually succeeds; one that always fails lands in
+    [on_exhausted] instead of poisoning the pool.  Per-job attempt
+    counters make the outcome deterministic across two domains. *)
+let test_pool_retry_and_exhaustion () =
+  let attempts = Array.init 4 (fun _ -> Atomic.make 0) in
+  let exhausted = Atomic.make (-1) in
+  let p =
+    S.Pool.create ~domains:2 ~max_retries:2
+      ~on_exhausted:(fun _i job _e -> Atomic.set exhausted job)
+      (fun _i job ->
+        let n = Atomic.fetch_and_add attempts.(job) 1 in
+        (* job 0 succeeds at once, 1 and 2 need retries, 3 never works *)
+        match job with
+        | 1 when n < 1 -> raise Boom
+        | 2 when n < 2 -> raise Boom
+        | 3 -> raise Boom
+        | _ -> ())
+  in
+  List.iter (fun j -> ignore (S.Pool.submit p j)) [ 0; 1; 2; 3 ];
+  S.Pool.drain p;
+  checki "job 1 ran twice" 2 (Atomic.get attempts.(1));
+  checki "job 2 ran three times" 3 (Atomic.get attempts.(2));
+  checki "job 3 exhausted its budget" 3 (Atomic.get attempts.(3));
+  checki "on_exhausted saw job 3" 3 (Atomic.get exhausted);
+  (* retried attempts: job 1 once, job 2 twice, job 3 twice *)
+  checki "retries counted" 5 (S.Pool.retries p);
+  (* every failed attempt restarts a worker: 1 + 2 + 3 *)
+  checki "worker restarts counted" 6 (S.Pool.worker_restarts p);
+  match S.Pool.shutdown p with
+  | () -> ()
+  | exception Boom -> Alcotest.fail "exhaustion must not poison the pool"
+
 (* ------------------------------------------------------------------ *)
 (* cache key: canonical under print->parse->print                      *)
 (* ------------------------------------------------------------------ *)
@@ -537,6 +570,8 @@ let () =
           Alcotest.test_case "spawn discipline" `Quick test_pool_spawn_discipline;
           Alcotest.test_case "failure re-raised at shutdown" `Quick
             test_pool_failure_reraised;
+          Alcotest.test_case "bounded retry with backoff, then exhaustion"
+            `Quick test_pool_retry_and_exhaustion;
         ] );
       ( "engine",
         [
