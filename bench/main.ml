@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- one experiment
      experiments: fig4 fig5 fig6 fig7 tab1 tflops ablations weak sched
-                  par serve perfsmoke trace micro multiwafer mwfaults
+                  par serve perfsmoke trace micro multiwafer mwfaults tune
 
    Absolute numbers come from the fabric simulator and the calibrated
    machine models (see DESIGN.md); the claims under reproduction are the
@@ -1118,6 +1118,229 @@ let mwfaults () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Autotuning: tuned vs default cycles + predictor calibration         *)
+(* (BENCH_PR10.json)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** One seeded tuning run per benchmark.  Validation baked in: tuned
+    must be no slower than default on every program and strictly faster
+    on at least one, and every winner must carry an oracle pass — any
+    violation exits 1.  The calibration half compares the screening
+    predictor against the confirming simulation for the default and the
+    winner of every benchmark, flagging >10% deviations. *)
+let tune_bench () =
+  header "Autotuning: tuned vs default, oracle-gated (BENCH_PR10.json)";
+  let module T = Wsc_tune.Tune in
+  let module J = Wsc_trace.Json in
+  let machine = Machine.wse3 in
+  let cores = Domain.recommended_domain_count () in
+  let domains = max 1 (min 4 cores) in
+  let seed = 1 in
+  let config = { T.default_config with T.seed; domains; machine } in
+  Printf.printf
+    "%d core(s) available (Domain.recommended_domain_count); fan-out uses %d \
+     domain(s)%s\n\
+     seed %d, screen %d, top %d, extent %d\n\n"
+    cores domains
+    (if domains > cores then " — OVERSUBSCRIBED" else "")
+    seed config.T.screen config.T.top_k config.T.extent;
+  Printf.printf "%-10s %7s %11s %11s %8s %7s %6s %6s\n" "benchmark" "space"
+    "default c/i" "tuned c/i" "improve" "oracle" "evals" "saved";
+  let store = Wsc_serve.Tuned.create () in
+  let results =
+    List.map
+      (fun (d : B.descr) ->
+        let r = T.run ~config d in
+        let registered = T.register store r in
+        Printf.printf "%-10s %7d %11.0f %11.0f %7.1f%% %7s %6d %6d\n" r.T.r_bench
+          r.T.r_space_size r.T.r_default_cycles r.T.r_tuned_cycles
+          r.T.r_improvement_pct
+          (match r.T.r_oracle_ok with
+          | Some true -> "PASS"
+          | Some false -> "FAIL"
+          | None -> "off")
+          r.T.r_evals_total r.T.r_evals_saved;
+        (r, registered))
+      B.all
+  in
+  (* predictor calibration: screening prediction vs confirming
+     simulation, default and winner per benchmark *)
+  Printf.printf "\npredictor calibration (screen prediction vs confirmed "
+  ;
+  Printf.printf "simulation):\n";
+  Printf.printf "%-10s %-8s %11s %11s %7s %s\n" "benchmark" "config"
+    "predicted" "simulated" "dev" "";
+  let calib_rows = ref [] in
+  let flagged = ref 0 in
+  List.iter
+    (fun ((r : T.result), _) ->
+      let row label rendered =
+        match
+          List.find_opt (fun (c : T.candidate) -> c.T.c_rendered = rendered)
+            r.T.r_candidates
+        with
+        | Some { T.c_predicted = Ok pred; c_confirmed = Some sim; _ } ->
+            let dev =
+              if sim > 0.0 then 100.0 *. Float.abs (pred -. sim) /. sim
+              else 0.0
+            in
+            let flag = dev > 10.0 in
+            if flag then incr flagged;
+            Printf.printf "%-10s %-8s %11.0f %11.0f %6.1f%% %s\n" r.T.r_bench
+              label pred sim dev
+              (if flag then "FLAGGED >10%" else "");
+            calib_rows :=
+              J.Obj
+                [
+                  ("benchmark", J.String r.T.r_bench);
+                  ("config", J.String label);
+                  ("predicted_cycles_per_iter", J.Float pred);
+                  ("simulated_cycles_per_iter", J.Float sim);
+                  ("deviation_pct", J.Float dev);
+                  ("flagged", J.Bool flag);
+                ]
+              :: !calib_rows
+        | _ -> ()
+      in
+      row "default"
+        (Wsc_core.Pipeline.options_to_string Wsc_core.Pipeline.default_options);
+      row "tuned" (Wsc_core.Pipeline.options_to_string r.T.r_tuned_options);
+      (* spatial generalization: the tuner predicts on the proxy extent —
+         re-simulate the winner on a larger grid and compare per-iteration
+         steady state, the extrapolation the predictor actually risks *)
+      let d = B.find r.T.r_bench in
+      let wide = config.T.extent + 2 in
+      let steady o =
+        let cyc iters =
+          let c, _, _ =
+            WP.simulate_iters ~pipeline_options:o ~extent:wide d ~machine
+              ~iters
+          in
+          c
+        in
+        if d.B.default_iterations <= 1 then cyc 2 /. 2.0
+        else (cyc 8 -. cyc 2) /. 6.0
+      in
+      (match steady r.T.r_tuned_options with
+      | sim ->
+          let pred = r.T.r_tuned_cycles in
+          let dev =
+            if sim > 0.0 then 100.0 *. Float.abs (pred -. sim) /. sim else 0.0
+          in
+          let flag = dev > 10.0 in
+          if flag then incr flagged;
+          Printf.printf "%-10s %-8s %11.0f %11.0f %6.1f%% %s\n" r.T.r_bench
+            (Printf.sprintf "tuned@%d" wide)
+            pred sim dev
+            (if flag then "FLAGGED >10%" else "");
+          calib_rows :=
+            J.Obj
+              [
+                ("benchmark", J.String r.T.r_bench);
+                ("config", J.String (Printf.sprintf "tuned@%dx%d" wide wide));
+                ("predicted_cycles_per_iter", J.Float pred);
+                ("simulated_cycles_per_iter", J.Float sim);
+                ("deviation_pct", J.Float dev);
+                ("flagged", J.Bool flag);
+              ]
+            :: !calib_rows
+      | exception _ -> ()))
+    results;
+  let rows =
+    List.map
+      (fun ((r : T.result), registered) ->
+        J.Obj
+          [
+            ("benchmark", J.String r.T.r_bench);
+            ("program_key", J.String r.T.r_program_key);
+            ("space_size", J.Int r.T.r_space_size);
+            ("screened", J.Int r.T.r_screened);
+            ("confirmed", J.Int r.T.r_confirmed);
+            ("evals_total", J.Int r.T.r_evals_total);
+            ("evals_run", J.Int r.T.r_evals_run);
+            ("evals_saved", J.Int r.T.r_evals_saved);
+            ("default_cycles_per_iter", J.Float r.T.r_default_cycles);
+            ("tuned_cycles_per_iter", J.Float r.T.r_tuned_cycles);
+            ("improvement_pct", J.Float r.T.r_improvement_pct);
+            ( "tuned_config",
+              Wsc_serve.Tuned.config_of_options r.T.r_tuned_options );
+            ( "oracle_ok",
+              match r.T.r_oracle_ok with
+              | Some b -> J.Bool b
+              | None -> J.Null );
+            ("oracle_checks", J.Int r.T.r_oracle_checks);
+            ("registered", J.Bool registered);
+            ("cores", J.Int cores);
+            ("domains", J.Int domains);
+            ("oversubscribed", J.Bool (domains > cores));
+          ])
+      results
+  in
+  let doc =
+    J.summary ~tool:"bench-tune"
+      ~config:
+        [
+          ("machine", J.String machine.Machine.name);
+          ("seed", J.Int seed);
+          ("screen", J.Int config.T.screen);
+          ("top_k", J.Int config.T.top_k);
+          ("extent", J.Int config.T.extent);
+          ("cores", J.Int cores);
+          ("domains", J.Int domains);
+        ]
+      ~results:
+        (rows
+        @ [
+            J.Obj
+              [
+                ("calibration", J.List (List.rev !calib_rows));
+                ("calibration_flagged", J.Int !flagged);
+                ("registered_configs", J.Int (Wsc_serve.Tuned.size store));
+              ];
+          ])
+  in
+  let oc = open_out "BENCH_PR10.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_PR10.json (%d tuned config(s) registered)\n"
+    (Wsc_serve.Tuned.size store);
+  (* validation *)
+  let slower =
+    List.filter
+      (fun ((r : T.result), _) -> r.T.r_tuned_cycles > r.T.r_default_cycles)
+      results
+  in
+  let strictly_better =
+    List.exists
+      (fun ((r : T.result), _) -> r.T.r_tuned_cycles < r.T.r_default_cycles)
+      results
+  in
+  let oracle_clean =
+    List.for_all
+      (fun ((r : T.result), _) -> r.T.r_oracle_ok = Some true)
+      results
+  in
+  if slower <> [] then begin
+    List.iter
+      (fun ((r : T.result), _) ->
+        Printf.printf "TUNED SLOWER THAN DEFAULT: %s\n" r.T.r_bench)
+      slower;
+    exit 1
+  end;
+  if not strictly_better then begin
+    Printf.printf "NO BENCHMARK IMPROVED: tuning found nothing\n";
+    exit 1
+  end;
+  if not oracle_clean then begin
+    Printf.printf "ORACLE GATE FAILED on at least one benchmark\n";
+    exit 1
+  end;
+  Printf.printf
+    "tuned <= default everywhere, strictly better on >= 1, all winners \
+     oracle-validated\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1137,6 +1360,7 @@ let experiments =
     ("micro", micro);
     ("multiwafer", multiwafer);
     ("mwfaults", mwfaults);
+    ("tune", tune_bench);
   ]
 
 let () =

@@ -751,24 +751,48 @@ let serve_trace_arg =
           "Write a Chrome trace of every request's phases (queue wait, \
            parse, per-pass compile, emit; one track per worker) at shutdown.")
 
+let tuned_cache_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "tuned-cache" ] ~docv:"FILE"
+        ~doc:
+          "Load a tuned-config store (written by $(b,wsc tune --save)); \
+           requests whose program hash has an entry compile under their \
+           tuned options, counted as tuned hits in stats and the shutdown \
+           line.")
+
+let load_tuned (path : string option) :
+    (Serve.Tuned.t option, [ `Msg of string ]) result =
+  match path with
+  | None -> Ok None
+  | Some p -> (
+      match Serve.Tuned.load_file p with
+      | Ok t -> Ok (Some t)
+      | Error msg -> Error (`Msg ("--tuned-cache: " ^ msg)))
+
 let serve_cmd =
-  let run domains capacity timeout socket trace_path =
-    Serve.Server.install_signal_handlers ();
-    let cfg =
-      {
-        Serve.Server.domains;
-        capacity;
-        timeout_s = timeout;
-        options = pipeline_options;
-        transport =
-          (match socket with
-          | Some path -> Serve.Server.Unix_socket path
-          | None -> Serve.Server.Stdio);
-        trace_path;
-      }
-    in
-    ignore (Serve.Server.run cfg);
-    Ok ()
+  let run domains capacity timeout socket trace_path tuned_path =
+    match load_tuned tuned_path with
+    | Error _ as e -> e
+    | Ok tuned ->
+        Serve.Server.install_signal_handlers ();
+        let cfg =
+          {
+            Serve.Server.domains;
+            capacity;
+            timeout_s = timeout;
+            options = pipeline_options;
+            transport =
+              (match socket with
+              | Some path -> Serve.Server.Unix_socket path
+              | None -> Serve.Server.Stdio);
+            trace_path;
+            tuned;
+          }
+        in
+        ignore (Serve.Server.run cfg);
+        Ok ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -781,7 +805,7 @@ let serve_cmd =
     Term.(
       term_result
         (const run $ serve_domains_arg $ cache_capacity_arg $ serve_timeout_arg
-       $ socket_arg $ serve_trace_arg))
+       $ socket_arg $ serve_trace_arg $ tuned_cache_arg))
 
 let manifest_arg =
   Arg.(
@@ -814,13 +838,17 @@ let dump_requests_arg =
            compile request line on stdout — pipe into $(b,wsc serve).")
 
 let batch_cmd =
-  let run manifest domains capacity timeout repeat json_out dump trace_path =
+  let run manifest domains capacity timeout repeat json_out dump trace_path
+      tuned_path =
     let paths = Serve.Batch.manifest_paths manifest in
     if dump then begin
       Serve.Batch.dump_requests stdout paths;
       Ok ()
     end
     else begin
+      match load_tuned tuned_path with
+      | Error _ as e -> e
+      | Ok tuned ->
       Serve.Server.install_signal_handlers ();
       let cfg =
         {
@@ -830,6 +858,7 @@ let batch_cmd =
           options = pipeline_options;
           repeat;
           trace_path;
+          tuned;
         }
       in
       let r = Serve.Batch.run cfg paths in
@@ -844,6 +873,9 @@ let batch_cmd =
         s.Serve.Cache.hits s.Serve.Cache.misses s.Serve.Cache.evictions
         (100.0 *. Serve.Cache.hit_rate s)
         s.Serve.Cache.entries s.Serve.Cache.capacity;
+      if tuned <> None then
+        Printf.printf "  tuned: %d hit / %d miss\n" r.Serve.Batch.rp_tuned_hits
+          r.Serve.Batch.rp_tuned_misses;
       List.iter
         (fun (e : Serve.Batch.entry) ->
           if e.Serve.Batch.en_status <> "ok" then
@@ -871,7 +903,146 @@ let batch_cmd =
       term_result
         (const run $ manifest_arg $ serve_domains_arg $ cache_capacity_arg
        $ serve_timeout_arg $ repeat_arg $ batch_json_arg $ dump_requests_arg
-       $ serve_trace_arg))
+       $ serve_trace_arg $ tuned_cache_arg))
+
+(* ---------------- tune ---------------- *)
+
+let tune_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Search seed; reruns with the same seed replay byte-for-byte.")
+
+let tune_screen_arg =
+  Arg.(
+    value & opt int Wsc_tune.Tune.default_config.Wsc_tune.Tune.screen
+    & info [ "screen" ] ~docv:"N"
+        ~doc:"Candidates entering predictor screening.")
+
+let tune_top_arg =
+  Arg.(
+    value & opt int Wsc_tune.Tune.default_config.Wsc_tune.Tune.top_k
+    & info [ "top" ] ~docv:"K"
+        ~doc:"Screened candidates confirmed by fabric simulation.")
+
+let tune_extent_arg =
+  Arg.(
+    value & opt int Wsc_tune.Tune.default_config.Wsc_tune.Tune.extent
+    & info [ "extent" ] ~docv:"N" ~doc:"Proxy-grid PE extent per side.")
+
+let tune_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for candidate fan-out.")
+
+let tune_no_oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "no-oracle" ]
+        ~doc:
+          "Skip the differential-oracle gate (the winner is then reported \
+           but can never be saved — tuned configs do not ship without an \
+           oracle pass).")
+
+let tune_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the report as JSON.")
+
+let tune_save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:
+          "Register the oracle-validated winner into the tuned-config store \
+           at FILE (created, or loaded and extended), for $(b,wsc serve) / \
+           $(b,wsc batch) $(b,--tuned-cache).")
+
+let tune_cmd =
+  let run bench machine seed screen top extent domains no_oracle json_out
+      save_path =
+    match bench with
+    | None -> Error (`Msg "tune: --bench required")
+    | Some id -> (
+        match B.find id with
+        | exception Invalid_argument msg -> Error (`Msg msg)
+        | d ->
+            let module T = Wsc_tune.Tune in
+            let config =
+              {
+                T.seed;
+                screen;
+                top_k = top;
+                extent;
+                domains;
+                machine;
+                oracle = not no_oracle;
+              }
+            in
+            let r = T.run ~config d in
+            Printf.printf
+              "tune %s on %s: space %d, screened %d, confirmed %d\n" r.T.r_bench
+              r.T.r_machine r.T.r_space_size r.T.r_screened r.T.r_confirmed;
+            Printf.printf
+              "  proxy evals: %d requested, %d simulated, %d saved by memo\n"
+              r.T.r_evals_total r.T.r_evals_run r.T.r_evals_saved;
+            Printf.printf "  default: %.1f cycles/iter\n" r.T.r_default_cycles;
+            Printf.printf "  tuned:   %.1f cycles/iter (%+.1f%%)\n"
+              r.T.r_tuned_cycles r.T.r_improvement_pct;
+            Printf.printf "  config:  %s\n"
+              (Wsc_core.Pipeline.options_to_string r.T.r_tuned_options);
+            (match r.T.r_oracle_ok with
+            | Some true ->
+                Printf.printf "  oracle:  PASS (%d check(s))\n" r.T.r_oracle_checks
+            | Some false ->
+                Printf.printf "  oracle:  FAIL (%d check(s)%s)\n"
+                  r.T.r_oracle_checks
+                  (match r.T.r_oracle_failure with
+                  | Some m -> ": " ^ m
+                  | None -> "")
+            | None -> Printf.printf "  oracle:  skipped\n");
+            (match json_out with
+            | Some path -> write_json path (T.to_json r)
+            | None -> ());
+            (match save_path with
+            | None -> ()
+            | Some path ->
+                let store =
+                  if Sys.file_exists path then
+                    match Serve.Tuned.load_file path with
+                    | Ok s -> s
+                    | Error msg -> failwith ("--save: " ^ msg)
+                  else Serve.Tuned.create ()
+                in
+                if T.register store r then begin
+                  Serve.Tuned.save_file store path;
+                  Printf.printf "saved tuned config to %s (%d entr%s)\n" path
+                    (Serve.Tuned.size store)
+                    (if Serve.Tuned.size store = 1 then "y" else "ies")
+                end
+                else
+                  Printf.printf
+                    "not saved: winner lacks an oracle pass or beats nothing\n");
+            if r.T.r_oracle_ok = Some false then exit 1;
+            if r.T.r_tuned_cycles > r.T.r_default_cycles then exit 1;
+            Ok ())
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the pipeline-option space for a benchmark (predictor \
+          screening, then fabric-simulation confirmation, then the \
+          differential-oracle gate) and report the tuned config; \
+          $(b,--save) ships validated winners into a tuned-config store \
+          that $(b,wsc serve) / $(b,wsc batch) consult.")
+    Term.(
+      term_result
+        (const run $ bench_arg $ machine_arg $ tune_seed_arg $ tune_screen_arg
+       $ tune_top_arg $ tune_extent_arg $ tune_domains_arg $ tune_no_oracle_arg
+       $ tune_json_arg $ tune_save_arg))
 
 (* ---------------- perf ---------------- *)
 
@@ -1191,6 +1362,7 @@ let () =
              reduce_cmd;
              serve_cmd;
              batch_cmd;
+             tune_cmd;
              multiwafer_cmd;
              perf_cmd;
              ir_cmd;

@@ -143,6 +143,10 @@ let divisors_desc n =
   let rec go d acc = if d = 0 then acc else go (d - 1) (if n mod d = 0 then d :: acc else acc) in
   List.rev (go n [])
 
+let feasible_chunk_counts ~(len : int) : int list =
+  if len <= 0 then []
+  else List.map (fun cs -> len / cs) (divisors_desc len)
+
 let choose_chunks (opts : options) ~(promoted : bool) ~(len : int)
     (swaps_by_input : Dmp.swap_desc list list) : int * int =
   match opts.num_chunks_override with

@@ -24,6 +24,12 @@ type options = {
 
 val default_options : options
 
+(** Chunk counts [k] that are legal as [num_chunks_override] for a
+    communicated z range of [len] elements (the divisors of [len], in
+    ascending order).  This is the override-feasible space searched by
+    the autotuner. *)
+val feasible_chunk_counts : len:int -> int list
+
 (** Largest chunk size whose buffers fit, as (num_chunks, chunk_size).
     @raise Lowering_error when nothing fits or the override does not
     divide the range. *)

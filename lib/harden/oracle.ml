@@ -132,11 +132,12 @@ module MW = Wsc_multiwafer.Cosim
 (** Run the program decomposed over [wafers] and demand the gathered
     fields are *bit-identical* (not merely within tolerance) to the
     single-wafer fabric's drained fields [outs]. *)
-let multiwafer_tier ~(machine : Wsc_wse.Machine.t) (p : P.t)
-    (outs : I.grid list) (wafers : int * int) : failure option =
+let multiwafer_tier ~(machine : Wsc_wse.Machine.t)
+    ~(engine : Wsc_serve.Engine.t) (p : P.t) (outs : I.grid list)
+    (wafers : int * int) : failure option =
   let wx, wy = wafers in
   let name = Printf.sprintf "%dx%d" wx wy in
-  match MW.run ~machine ~wafers p with
+  match MW.run ~engine ~machine ~wafers p with
   | exception e ->
       Some (Crash { stage = "multiwafer-" ^ name; msg = Printexc.to_string e })
   | r ->
@@ -157,8 +158,9 @@ module Wf = Wsc_faults.Faults.Wafer
     *recovered* fields are still bit-identical to the single-wafer
     fabric.  [Loss] is excluded: a permanently lost wafer degrades the
     run by design, which is not a miscompile. *)
-let mwfaults_tier ~(machine : Wsc_wse.Machine.t) (p : P.t)
-    (outs : I.grid list) : failure option =
+let mwfaults_tier ~(machine : Wsc_wse.Machine.t)
+    ~(engine : Wsc_serve.Engine.t) (p : P.t) (outs : I.grid list) :
+    failure option =
   let nx, _, _ = p.P.extents in
   if nx < 2 then None
   else
@@ -171,7 +173,7 @@ let mwfaults_tier ~(machine : Wsc_wse.Machine.t) (p : P.t)
             let faults =
               Wf.create (Wf.config_for kind ~rate:0.1 ~seed:1 ~resilient:true)
             in
-            match MW.run ~machine ~faults ~wafers:(2, 1) p with
+            match MW.run ~engine ~machine ~faults ~wafers:(2, 1) p with
             | exception e ->
                 Some
                   (Crash
@@ -199,7 +201,8 @@ let mwfaults_tier ~(machine : Wsc_wse.Machine.t) (p : P.t)
       [ Wf.Halo_drop; Wf.Halo_corrupt; Wf.Crash ]
 
 let check ?(inject_bug = false) ?(multiwafer = true) ?(mwfaults = false)
-    ?(machine = Wsc_wse.Machine.wse3) (p : P.t) : report =
+    ?(machine = Wsc_wse.Machine.wse3)
+    ?(options = Pipeline.default_options) (p : P.t) : report =
   Wsc_core.Csl_stencil_interp.register ();
   let fail ?ir_before ?ir_after f =
     { failure = Some f; ir_before; ir_after }
@@ -213,7 +216,7 @@ let check ?(inject_bug = false) ?(multiwafer = true) ?(mwfaults = false)
           fail (Crash { stage = "stencil-compile"; msg = Printexc.to_string e })
       | m0 -> (
           let last = ref ("stencil-compile", Printer.op_to_string m0) in
-          let o = Pipeline.default_options in
+          let o = options in
           let stage1 =
             Pipeline.frontend_passes o
             @ (if inject_bug then [ bug_pass ] else [])
@@ -264,6 +267,13 @@ let check ?(inject_bug = false) ?(multiwafer = true) ?(mwfaults = false)
                                  reproduce the single-wafer fabric bit
                                  for bit (fuzzer programs are always
                                  decomposable by construction) *)
+                              (* the co-simulated wafers must compile
+                                 under the same pipeline options as the
+                                 single-wafer fabric they are compared
+                                 against bit for bit *)
+                              let engine =
+                                Wsc_serve.Engine.create ~options ()
+                              in
                               let mw_failure =
                                 if not multiwafer then None
                                 else
@@ -272,7 +282,8 @@ let check ?(inject_bug = false) ?(multiwafer = true) ?(mwfaults = false)
                                       match acc with
                                       | Some _ -> acc
                                       | None ->
-                                          multiwafer_tier ~machine p outs wafers)
+                                          multiwafer_tier ~machine ~engine p
+                                            outs wafers)
                                     None (multiwafer_grids p)
                               in
                               let mw_failure =
@@ -280,7 +291,7 @@ let check ?(inject_bug = false) ?(multiwafer = true) ?(mwfaults = false)
                                 | Some _ -> mw_failure
                                 | None ->
                                     if mwfaults then
-                                      mwfaults_tier ~machine p outs
+                                      mwfaults_tier ~machine ~engine p outs
                                     else None
                               in
                               (match mw_failure with

@@ -54,12 +54,16 @@ val tolerance : float
     the 2×1 co-simulation under low-rate seeded halo-drop /
     halo-corrupt / crash faults with the resilience protocol on must
     *recover* bit-identically (degraded runs are excused: exhausting
-    the retry budget is by design, not a miscompile).  Never raises:
-    every exception becomes a {!failure}. *)
+    the retry budget is by design, not a miscompile).  [options]
+    (default {!Wsc_core.Pipeline.default_options}) selects the pipeline
+    configuration every tier compiles under — the autotuner's gate: a
+    candidate config only ships once [check ~options] comes back clean.
+    Never raises: every exception becomes a {!failure}. *)
 val check :
   ?inject_bug:bool ->
   ?multiwafer:bool ->
   ?mwfaults:bool ->
   ?machine:Wsc_wse.Machine.t ->
+  ?options:Wsc_core.Pipeline.options ->
   Wsc_frontends.Stencil_program.t ->
   report

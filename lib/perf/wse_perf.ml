@@ -83,12 +83,15 @@ let simulate_proxy ?(pipeline_options = Wsc_core.Pipeline.default_options)
   in
   (h, chunks)
 
-(** Simulate for [iters] timesteps on the default proxy grid; returns
-    elapsed cycles and aggregate stats. *)
-let simulate_iters ?pipeline_options ?driver (d : B.descr)
+(** Simulate for [iters] timesteps on the proxy grid; returns elapsed
+    cycles and aggregate stats.  The raw primitive behind {!measure} and
+    the autotuner's memoized candidate evaluation. *)
+let simulate_iters ?pipeline_options ?driver ?extent (d : B.descr)
     ~(machine : Machine.t) ~(iters : int) :
     float * Wsc_wse.Fabric.pe_stats * int =
-  let h, chunks = simulate_proxy ?pipeline_options ?driver d ~machine ~iters in
+  let h, chunks =
+    simulate_proxy ?pipeline_options ?driver ?extent d ~machine ~iters
+  in
   (Wsc_wse.Fabric.elapsed_cycles h.sim, Wsc_wse.Fabric.total_stats h.sim, chunks)
 
 (** Analytic cycle prediction for a full run at [size]: steady-state

@@ -42,6 +42,20 @@ val simulate_proxy :
   ?extent:int ->
   B.descr -> machine:Machine.t -> iters:int -> Wsc_wse.Host.t * int
 
+(** Like {!simulate_proxy}, but returns the elapsed cycles, the
+    aggregated PE stats and the chunk count instead of the host handle.
+    The raw primitive behind {!measure}; the autotuner memoizes calls to
+    it so each distinct (program, options, iters) proxy run executes
+    once per tuning session. *)
+val simulate_iters :
+  ?pipeline_options:Wsc_core.Pipeline.options ->
+  ?driver:Wsc_wse.Fabric.driver ->
+  ?extent:int ->
+  B.descr ->
+  machine:Machine.t ->
+  iters:int ->
+  float * Wsc_wse.Fabric.pe_stats * int
+
 (** Steady-state cycle prediction for [iterations] timesteps at [size]:
     two short runs at the same size (so the same z extent), per-iteration
     delta, scaled.  Comparable with a full simulation of that exact grid;

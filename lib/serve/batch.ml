@@ -10,6 +10,7 @@ type config = {
   options : Wsc_core.Pipeline.options;
   repeat : int;
   trace_path : string option;
+  tuned : Tuned.t option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     options = Wsc_core.Pipeline.default_options;
     repeat = 1;
     trace_path = None;
+    tuned = None;
   }
 
 type entry = {
@@ -39,6 +41,8 @@ type report = {
   rp_cancelled : int;
   rp_wall_s : float;
   rp_cache : Cache.stats;
+  rp_tuned_hits : int;
+  rp_tuned_misses : int;
   rp_entries : entry list;
 }
 
@@ -97,7 +101,7 @@ let entry_of_result ~(path : string) ~(round : int) (r : Engine.result) : entry
 let run (cfg : config) (paths : string list) : report =
   let engine =
     Engine.create ~capacity:cfg.capacity ~timeout_s:cfg.timeout_s
-      ~options:cfg.options ()
+      ~options:cfg.options ?tuned:cfg.tuned ()
   in
   let domains = max 1 cfg.domains in
   let repeat = max 1 cfg.repeat in
@@ -205,6 +209,8 @@ let run (cfg : config) (paths : string list) : report =
     rp_cancelled = count (fun e -> e.en_status = "cancelled");
     rp_wall_s = Unix.gettimeofday () -. epoch;
     rp_cache = Engine.cache_stats engine;
+    rp_tuned_hits = fst (Engine.tuned_counters engine);
+    rp_tuned_misses = snd (Engine.tuned_counters engine);
     rp_entries = entries;
   }
 
@@ -232,6 +238,8 @@ let report_to_json (cfg : config) (r : report) : J.t =
                 [
                   ("hits", J.Int s.Cache.hits);
                   ("misses", J.Int s.Cache.misses);
+                  ("tuned_hits", J.Int r.rp_tuned_hits);
+                  ("tuned_misses", J.Int r.rp_tuned_misses);
                   ("insertions", J.Int s.Cache.insertions);
                   ("evictions", J.Int s.Cache.evictions);
                   ("entries", J.Int s.Cache.entries);

@@ -18,6 +18,7 @@ type config = {
   options : Wsc_core.Pipeline.options;
   repeat : int;  (** times to submit the manifest (clamped to ≥ 1) *)
   trace_path : string option;  (** Chrome trace of every job's spans *)
+  tuned : Tuned.t option;  (** tuned-config store the engine consults *)
 }
 
 val default_config : config
@@ -42,6 +43,8 @@ type report = {
   rp_cancelled : int;
   rp_wall_s : float;
   rp_cache : Cache.stats;
+  rp_tuned_hits : int;  (** tuned-config store hits (0 without a store) *)
+  rp_tuned_misses : int;
   rp_entries : entry list;
 }
 

@@ -53,12 +53,14 @@ let total_s (t : timing) = Float.max 0.0 (t.t_done -. t.t_submit)
 type result = {
   outcome : (compiled, error) Stdlib.result;
   cache : [ `Hit | `Miss ] option;
+  tuned : bool;
   timing : timing;
 }
 
 type t = {
   cache : compiled Cache.t;
   eng_options : Pipeline.options;
+  tuned_store : Tuned.t option;
   timeout_s : float;
   requests : int Atomic.t;
   ok : int Atomic.t;
@@ -69,7 +71,7 @@ let default_capacity = 512
 let default_timeout_s = 30.0
 
 let create ?(capacity = default_capacity) ?(timeout_s = default_timeout_s)
-    ?(options = Pipeline.default_options) () : t =
+    ?(options = Pipeline.default_options) ?tuned () : t =
   (* registration mutates a shared handler table; doing it here, before
      any worker domain exists, keeps [Pipeline.compile]'s own register
      call a pure flag read under concurrency *)
@@ -77,6 +79,7 @@ let create ?(capacity = default_capacity) ?(timeout_s = default_timeout_s)
   {
     cache = Cache.create ~capacity;
     eng_options = options;
+    tuned_store = tuned;
     timeout_s;
     requests = Atomic.make 0;
     ok = Atomic.make 0;
@@ -89,6 +92,9 @@ let cache_stats (t : t) : Cache.stats = Cache.stats t.cache
 let counters (t : t) : int * int * int =
   (Atomic.get t.requests, Atomic.get t.ok, Atomic.get t.errors)
 
+let tuned_counters (t : t) : int * int =
+  match t.tuned_store with None -> (0, 0) | Some s -> Tuned.counters s
+
 (* ------------------------------------------------------------------ *)
 (* keying                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -97,15 +103,35 @@ let counters (t : t) : int * int * int =
     exceptions propagate out of the pipeline unwrapped. *)
 exception Timed_out
 
-let parse_and_key ~(opts : Pipeline.options) (source : string) :
-    Wsc_ir.Ir.op * string * string =
+(** The tuned-config store is consulted on the *program-only* digest of
+    the canonical text, before the compile key is formed — so a tuned
+    program's compile key is the one its tuned options produce, and hits
+    in the compile cache stay byte-identical by construction.  The
+    request's [program_name] survives the override: it names the emitted
+    module, which is identification, not a tuned knob. *)
+let resolve_tuned (t : t) ~(count : bool) ~(opts : Pipeline.options)
+    (canonical : string) : Pipeline.options * bool =
+  match t.tuned_store with
+  | None -> (opts, false)
+  | Some store -> (
+      let pk = Tuned.key_of_canonical canonical in
+      let lookup = if count then Tuned.find else Tuned.peek in
+      match lookup store pk with
+      | Some tuned_o ->
+          ({ tuned_o with Pipeline.program_name = opts.Pipeline.program_name },
+           true)
+      | None -> (opts, false))
+
+let parse_and_key (t : t) ~(count_tuned : bool) ~(opts : Pipeline.options)
+    (source : string) : Wsc_ir.Ir.op * string * string * Pipeline.options * bool =
   let m = Parser.parse_string source in
   let canonical = Printer.op_to_string m in
+  let opts, tuned = resolve_tuned t ~count:count_tuned ~opts canonical in
   let key =
     Fingerprint.digest_hex
       (canonical ^ "\x00" ^ Pipeline.options_to_string opts)
   in
-  (m, key, canonical)
+  (m, key, canonical, opts, tuned)
 
 let error_of_exn (e : exn) : error =
   match e with
@@ -129,8 +155,8 @@ let key_of_source (t : t) ?options (source : string) :
   if String.trim source = "" then
     Error { e_kind = Bad_request; e_message = "empty source" }
   else
-    match parse_and_key ~opts source with
-    | _, key, _ -> Ok key
+    match parse_and_key t ~count_tuned:false ~opts source with
+    | _, key, _, _, _ -> Ok key
     | exception e -> Error (error_of_exn e)
 
 (* ------------------------------------------------------------------ *)
@@ -145,7 +171,7 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
   let t_submit = Option.value submitted_at ~default:t_start in
   let deadline = t_start +. timeout_s in
   Atomic.incr t.requests;
-  let finish ~cache ~t_parsed ~t_compiled outcome =
+  let finish ~cache ?(tuned = false) ~t_parsed ~t_compiled outcome =
     let t_done = Unix.gettimeofday () in
     (match outcome with
     | Ok _ -> Atomic.incr t.ok
@@ -153,6 +179,7 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
     {
       outcome;
       cache;
+      tuned;
       timing = { t_submit; t_start; t_parsed; t_compiled; t_done };
     }
   in
@@ -160,11 +187,14 @@ let compile_source (t : t) ?options ?timeout_s ?submitted_at (source : string) :
     finish ~cache:None ~t_parsed:t_start ~t_compiled:t_start
       (Error { e_kind = Bad_request; e_message = "empty source" })
   else
-    match parse_and_key ~opts source with
+    match parse_and_key t ~count_tuned:true ~opts source with
     | exception e ->
         let now = Unix.gettimeofday () in
         finish ~cache:None ~t_parsed:now ~t_compiled:now (Error (error_of_exn e))
-    | m, key, canonical -> (
+    | m, key, canonical, opts, tuned -> (
+        let finish ~cache ~t_parsed ~t_compiled outcome =
+          finish ~cache ~tuned ~t_parsed ~t_compiled outcome
+        in
         let t_parsed = Unix.gettimeofday () in
         if t_parsed > deadline then
           finish ~cache:None ~t_parsed ~t_compiled:t_parsed

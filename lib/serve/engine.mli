@@ -71,6 +71,9 @@ type result = {
   outcome : (compiled, error) Stdlib.result;
   cache : [ `Hit | `Miss ] option;
       (** [None] when the request failed before it could be keyed *)
+  tuned : bool;
+      (** the request hit the attached tuned-config store and was
+          compiled under its tuned options *)
   timing : timing;
 }
 
@@ -80,11 +83,16 @@ val default_capacity : int
 val default_timeout_s : float
 
 (** [create ()] also registers the interpreter handlers once, so worker
-    domains never touch that global table. *)
+    domains never touch that global table.  [tuned] attaches a
+    tuned-config store: requests whose program-only canonical digest has
+    an entry compile under the stored options instead of their own
+    (opt-in — engines without a store behave exactly as before).  The
+    request's [program_name] is preserved across the override. *)
 val create :
   ?capacity:int ->
   ?timeout_s:float ->
   ?options:Wsc_core.Pipeline.options ->
+  ?tuned:Tuned.t ->
   unit ->
   t
 
@@ -103,7 +111,8 @@ val compile_source :
   result
 
 (** The cache key this engine would use for a source (parse + canonical
-    reprint + digest), without compiling. *)
+    reprint + tuned-store consultation + digest), without compiling and
+    without bumping the tuned counters. *)
 val key_of_source :
   t -> ?options:Wsc_core.Pipeline.options -> string -> (string, error) Stdlib.result
 
@@ -111,6 +120,10 @@ val cache_stats : t -> Cache.stats
 
 (** Lifetime request counters: total, ok, errored. *)
 val counters : t -> int * int * int
+
+(** [(tuned_hits, tuned_misses)] of the attached tuned-config store;
+    [(0, 0)] when none is attached. *)
+val tuned_counters : t -> int * int
 
 (** Emit the request's phase spans (queue wait, parse, per-pass compile,
     emit) onto [sink] under [Trace.serve_pid], track [tid], timestamps

@@ -16,78 +16,11 @@ type request = Compile of compile_request | Stats of int | Shutdown of int
 (* config <-> options                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let options_of_config (defaults : Pipeline.options) (kvs : (string * J.t) list) :
-    (Pipeline.options, string) Stdlib.result =
-  let bool_field k v =
-    match v with
-    | J.Bool b -> Ok b
-    | _ -> Error (Printf.sprintf "config.%s: expected a bool" k)
-  in
-  let rec go (o : Pipeline.options) = function
-    | [] -> Ok o
-    | (k, v) :: rest -> (
-        let set =
-          match k with
-          | "inline_stencils" ->
-              Result.map
-                (fun b -> { o with Pipeline.inline_stencils = b })
-                (bool_field k v)
-          | "use_varith" ->
-              Result.map (fun b -> { o with Pipeline.use_varith = b }) (bool_field k v)
-          | "promote_coefficients" ->
-              Result.map
-                (fun b -> { o with Pipeline.promote_coefficients = b })
-                (bool_field k v)
-          | "one_shot_reduction" ->
-              Result.map
-                (fun b -> { o with Pipeline.one_shot_reduction = b })
-                (bool_field k v)
-          | "fuse_fmac" ->
-              Result.map (fun b -> { o with Pipeline.fuse_fmac = b }) (bool_field k v)
-          | "fuse_fmac_pass" ->
-              Result.map
-                (fun b -> { o with Pipeline.fuse_fmac_pass = b })
-                (bool_field k v)
-          | "comm_budget_bytes" -> (
-              match v with
-              | J.Int n when n > 0 -> Ok { o with Pipeline.comm_budget_bytes = n }
-              | _ -> Error "config.comm_budget_bytes: expected a positive int")
-          | "num_chunks_override" -> (
-              match v with
-              | J.Null -> Ok { o with Pipeline.num_chunks_override = None }
-              | J.Int n when n > 0 ->
-                  Ok { o with Pipeline.num_chunks_override = Some n }
-              | _ ->
-                  Error "config.num_chunks_override: expected a positive int or null")
-          | "program_name" -> (
-              match v with
-              | J.String s when s <> "" -> Ok { o with Pipeline.program_name = s }
-              | _ -> Error "config.program_name: expected a non-empty string")
-          | k ->
-              (* unknown knobs are fatal: accepting one silently would
-                 hand two behaviorally different requests one cache key *)
-              Error (Printf.sprintf "config.%s: unknown option" k)
-        in
-        match set with Ok o -> go o rest | Error _ as e -> e)
-  in
-  go defaults kvs
-
-let config_of_options (o : Pipeline.options) : J.t =
-  J.Obj
-    [
-      ("inline_stencils", J.Bool o.Pipeline.inline_stencils);
-      ("use_varith", J.Bool o.Pipeline.use_varith);
-      ("promote_coefficients", J.Bool o.Pipeline.promote_coefficients);
-      ("one_shot_reduction", J.Bool o.Pipeline.one_shot_reduction);
-      ("fuse_fmac", J.Bool o.Pipeline.fuse_fmac);
-      ("fuse_fmac_pass", J.Bool o.Pipeline.fuse_fmac_pass);
-      ("comm_budget_bytes", J.Int o.Pipeline.comm_budget_bytes);
-      ( "num_chunks_override",
-        match o.Pipeline.num_chunks_override with
-        | None -> J.Null
-        | Some n -> J.Int n );
-      ("program_name", J.String o.Pipeline.program_name);
-    ]
+(* Shared with the persisted tuned-config store: one serializer keys
+   both surfaces, so a config that round-trips on the wire round-trips
+   on disk. *)
+let options_of_config = Tuned.options_of_config
+let config_of_options = Tuned.config_of_options
 
 (* ------------------------------------------------------------------ *)
 (* requests                                                            *)
@@ -234,6 +167,11 @@ let compile_response ~(id : int) (r : Engine.result) : J.t =
     | Some `Miss -> [ ("cache", J.String "miss") ]
     | None -> []
   in
+  (* only rendered when a tuned-config override fired, so responses from
+     engines without a store are byte-identical to the pre-tuning wire *)
+  let cache_member =
+    cache_member @ if r.Engine.tuned then [ ("tuned", J.Bool true) ] else []
+  in
   let result =
     match r.Engine.outcome with
     | Ok c ->
@@ -269,6 +207,7 @@ let stats_response ~(id : int) ~(engine : Engine.t) ?(retries = 0)
     ?(worker_restarts = 0) ~(uptime_s : float) () : J.t =
   let s = Engine.cache_stats engine in
   let requests, ok, errors = Engine.counters engine in
+  let tuned_hits, tuned_misses = Engine.tuned_counters engine in
   envelope ~id:(Some id) ~op:"stats"
     [
       J.Obj
@@ -286,6 +225,8 @@ let stats_response ~(id : int) ~(engine : Engine.t) ?(retries = 0)
                 ("hits", J.Int s.Cache.hits);
                 ("misses", J.Int s.Cache.misses);
                 ("dedup_hits", J.Int s.Cache.dedup_hits);
+                ("tuned_hits", J.Int tuned_hits);
+                ("tuned_misses", J.Int tuned_misses);
                 ("insertions", J.Int s.Cache.insertions);
                 ("evictions", J.Int s.Cache.evictions);
                 ("entries", J.Int s.Cache.entries);

@@ -20,6 +20,7 @@ type config = {
   options : Wsc_core.Pipeline.options;
   transport : transport;
   trace_path : string option;
+  tuned : Tuned.t option;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     options = Wsc_core.Pipeline.default_options;
     transport = Stdio;
     trace_path = None;
+    tuned = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -106,7 +108,7 @@ type job = {
 let run (cfg : config) : int =
   let engine =
     Engine.create ~capacity:cfg.capacity ~timeout_s:cfg.timeout_s
-      ~options:cfg.options ()
+      ~options:cfg.options ?tuned:cfg.tuned ()
   in
   let domains = max 1 cfg.domains in
   let epoch = Unix.gettimeofday () in
@@ -275,16 +277,18 @@ let run (cfg : config) : int =
     | None -> ());
     let requests, ok, errors = Engine.counters engine in
     let s = Engine.cache_stats engine in
+    let tuned_hits, tuned_misses = Engine.tuned_counters engine in
     Printf.eprintf
       "wsc serve: %d request(s) read, %d compiled ok, %d error(s); %d \
        retried, %d worker restart(s); cache %d hit (%d dedup) / %d miss / \
-       %d evicted (hit-rate %.1f%%, %d/%d entries); uptime %.1f s\n\
+       %d evicted (hit-rate %.1f%%, %d/%d entries); tuned %d hit / %d \
+       miss; uptime %.1f s\n\
        %!"
       !served ok errors (Pool.retries pool)
       (Pool.worker_restarts pool) s.Cache.hits s.Cache.dedup_hits
       s.Cache.misses s.Cache.evictions
       (100.0 *. Cache.hit_rate s)
-      s.Cache.entries s.Cache.capacity
+      s.Cache.entries s.Cache.capacity tuned_hits tuned_misses
       (Unix.gettimeofday () -. epoch);
     ignore requests
   in

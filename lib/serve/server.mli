@@ -25,6 +25,9 @@ type config = {
   trace_path : string option;
       (** write a Chrome trace of every request's phase spans here at
           shutdown (one track per worker domain under [Trace.serve_pid]) *)
+  tuned : Tuned.t option;
+      (** tuned-config store the engine consults per program; hit/miss
+          counters surface in [stats] responses and the shutdown line *)
 }
 
 val default_config : config

@@ -207,19 +207,43 @@ let prop_key_canonical =
       let reprinted =
         Wsc_ir.Printer.op_to_string (Wsc_ir.Parser.parse_string src)
       in
-      let other_options =
-        {
-          Pipeline.default_options with
-          Pipeline.promote_coefficients =
-            not Pipeline.default_options.Pipeline.promote_coefficients;
-        }
+      (* every field the autotuner searches must reach the cache key:
+         flipping any one of them yields a distinct key, and re-keying
+         under equal options yields an equal key *)
+      let d = Pipeline.default_options in
+      let deviations =
+        [
+          { d with Pipeline.inline_stencils = not d.Pipeline.inline_stencils };
+          { d with Pipeline.use_varith = not d.Pipeline.use_varith };
+          {
+            d with
+            Pipeline.promote_coefficients = not d.Pipeline.promote_coefficients;
+          };
+          {
+            d with
+            Pipeline.one_shot_reduction = not d.Pipeline.one_shot_reduction;
+          };
+          { d with Pipeline.fuse_fmac = not d.Pipeline.fuse_fmac };
+          { d with Pipeline.fuse_fmac_pass = not d.Pipeline.fuse_fmac_pass };
+          {
+            d with
+            Pipeline.comm_budget_bytes = d.Pipeline.comm_budget_bytes / 2;
+          };
+          { d with Pipeline.num_chunks_override = Some 2 };
+        ]
       in
-      let k_other =
-        match S.Engine.key_of_source eng ~options:other_options src with
+      let key_opts o =
+        match S.Engine.key_of_source eng ~options:o src with
         | Ok k' -> k'
-        | Error e -> QCheck.Test.fail_reportf "keying failed: %s" e.S.Engine.e_message
+        | Error e ->
+            QCheck.Test.fail_reportf "keying failed: %s" e.S.Engine.e_message
       in
-      k = key with_comment && k = key reprinted && k <> k_other)
+      let deviant_keys = List.map key_opts deviations in
+      List.for_all (fun k' -> k' <> k) deviant_keys
+      && List.length (List.sort_uniq compare deviant_keys)
+         = List.length deviant_keys
+      && List.for_all2 ( = ) deviant_keys (List.map key_opts deviations)
+      && k = key with_comment && k = key reprinted)
 
 (* ------------------------------------------------------------------ *)
 (* engine: hits byte-identical to cold compiles, at 1/2/4 domains      *)
